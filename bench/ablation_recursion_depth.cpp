@@ -1,0 +1,70 @@
+// Ablation: recursive diagnosis depth (paper §4.3).
+//
+// Depth 1 stops at the victim NF's own queue split; depth 2 adds one level
+// of upstream attribution; the paper needs up to 5 levels on the 16-NF
+// topology. NF-bug victims observed downstream are the depth-hungry case:
+// the VPN's input burst must be traced to the firewall's slow processing.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+int main() {
+  std::cout << "# Ablation §4.3 — accuracy vs recursion depth cap\n";
+
+  const auto cfg = bench::accuracy_config(/*seed=*/55);
+  auto ex = eval::run_experiment(cfg);
+  const auto rt = ex.reconstruct();
+  eval::Oracle oracle(ex.injections);
+
+  std::vector<std::pair<double, double>> points;
+  for (const int depth : {1, 2, 3, 4, 8}) {
+    core::DiagnoserOptions dopt;
+    dopt.max_depth = depth;
+    core::Diagnoser diag(rt, ex.peak_rates(), dopt);
+    auto victims =
+        diag.latency_victims_by_threshold(bench::kVictimLatencyThreshold);
+    if (victims.size() > 3000) {
+      std::vector<core::Victim> sampled;
+      const std::size_t stride = victims.size() / 3000 + 1;
+      for (std::size_t i = 0; i < victims.size(); i += stride)
+        sampled.push_back(victims[i]);
+      victims = std::move(sampled);
+    }
+    // rank-1 is insensitive (the depth-capped fallback still *names* the
+    // compressing NF); what recursion adds is the local-vs-input split at
+    // each upstream hop. Measure the blame sharpness: the fraction of the
+    // diagnosis's total score carried by the true culprit.
+    std::vector<int> all_ranks;
+    double sharp_sum = 0;
+    std::size_t sharp_n = 0;
+    for (const auto& v : victims) {
+      const auto exp = oracle.expected_for(v.time);
+      if (!exp) continue;
+      const auto d = diag.diagnose(v);
+      all_ranks.push_back(eval::microscope_rank(d, *exp));
+      double total = 0, mine = 0;
+      for (const auto& rel : d.relations) {
+        total += rel.score;
+        if (rel.culprit == exp->culprit) mine += rel.score;
+      }
+      if (total > 0) {
+        sharp_sum += mine / total;
+        ++sharp_n;
+      }
+    }
+    const double r1 = eval::rank1_fraction(all_ranks);
+    const double sharp = sharp_n ? sharp_sum / static_cast<double>(sharp_n) : 0;
+    points.push_back({static_cast<double>(depth), sharp});
+    std::cout << "  depth " << depth << ": rank-1=" << eval::fmt_pct(r1)
+              << "  blame-sharpness=" << eval::fmt_pct(sharp) << "\n";
+  }
+  std::cout << "\n";
+  eval::print_series(std::cout, "blame sharpness vs recursion depth",
+                     "max depth", "true-culprit score share", points);
+  std::cout << "# expected: rank-1 saturates immediately (the compressing NF"
+               " is usually the\n# culprit) while the split sharpens for a"
+               " few levels (the paper needed <=5)\n";
+  return 0;
+}

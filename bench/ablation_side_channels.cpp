@@ -1,0 +1,86 @@
+// Ablation: the three IPID-disambiguation side channels (paper §5).
+//
+// Reconstruction maps records of the same packet across NFs using (1) the
+// packet's possible paths, (2) timing bounds, and (3) per-link FIFO order.
+// This ablation re-runs alignment with the timing and order channels
+// disabled and scores each variant against the simulator's hidden ground
+// truth. Expected shape: full > no-timing ~ no-order >> neither, with the
+// gap growing once IPIDs wrap (they wrap every ~55 ms at 1.2 Mpps).
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+int main() {
+  std::cout << "# Ablation — IPID side channels (path/timing/order)\n";
+
+  // Three sources share the NAT layer. Each source's IPID counter starts
+  // at zero, so cross-stream collisions at the NATs are pervasive — the
+  // regime the side channels exist for. Timestamps carry a few
+  // microseconds of noise (realistic PTP-class sync), so resolving an
+  // ambiguity by "earliest tx" alone is genuinely risky.
+  sim::Simulator sim;
+  collector::CollectorOptions copts;
+  copts.timestamp_noise_ns = 3_us;
+  collector::Collector col(copts);
+  auto net = eval::build_fig10(sim, &col);
+  nf::Topology& topo = *net.topo;
+  std::vector<nf::TrafficSource*> sources{&topo.source(net.source)};
+  for (int s = 0; s < 2; ++s) {
+    auto& src = topo.add_source("src-extra" + std::to_string(s + 1));
+    src.set_router(nf::make_lb_router(net.nats, /*salt=*/1));
+    for (const NodeId nat : net.nats) topo.add_edge(src.id(), nat);
+    sources.push_back(&src);
+  }
+
+  nf::CaidaLikeOptions topts;
+  topts.duration = static_cast<DurationNs>(150'000'000.0 * bench::bench_scale());
+  topts.rate_mpps = 0.4;  // x3 sources = 1.2 Mpps aggregate
+  topts.num_flows = 1200;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    topts.seed = 17 + s;
+    topts.src_net = make_ipv4(10, static_cast<std::uint32_t>(20 + s), 0, 0);
+    sources[s]->load(nf::generate_caida_like(topts));
+  }
+  sim.run_until(topts.duration + 20_ms);
+  const auto graph = trace::graph_view(*net.topo);
+
+  const struct {
+    const char* name;
+    bool timing;
+    bool order;
+  } variants[] = {
+      {"path + timing + order (full)", true, true},
+      {"path + order (no timing)", false, true},
+      {"path + timing (no order)", true, false},
+      {"path only", false, false},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& v : variants) {
+    trace::ReconstructOptions ropt;
+    ropt.prop_delay = net.topo->options().prop_delay;
+    ropt.align.use_timing = v.timing;
+    ropt.align.use_order = v.order;
+    ropt.align.slack = 10_us;  // > the injected clock noise
+    const auto rt = trace::reconstruct(col, graph, ropt);
+    const auto check = trace::verify_against_ground_truth(rt, col);
+    rows.push_back(
+        {v.name, eval::fmt_pct(check.link_accuracy(), 3),
+         eval::fmt_pct(check.journey_accuracy(), 3),
+         std::to_string(rt.align_stats().link_unmatched),
+         std::to_string(rt.align_stats().link_ambiguous)});
+  }
+  eval::print_table(std::cout, "reconstruction accuracy vs side channels",
+                    {"variant", "link-acc", "journey-acc", "unmatched",
+                     "ambiguous"},
+                    rows);
+  std::cout
+      << "# expected: the full combination is best. Dropping the timing\n"
+         "# bound leaves stale records unmatched and costs journey accuracy;\n"
+         "# dropping the order discipline multiplies ambiguous guesses ~100x\n"
+         "# (in simulation the earliest-tx guess usually lands right; on a\n"
+         "# real deployment with reordering and clock skew it would not).\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3: different impacts from similar behaviours.
+//
+// Paper setup: a NAT (0.25 Mpps) and a Monitor (0.05 Mpps) both feed a VPN;
+// both take an interrupt at the same moment. Paper result: the NAT's
+// post-interrupt burst is ~5x larger, so it dominates the VPN's packet
+// drops/delay — correlation alone cannot tell the two apart, quantifying
+// input-rate change can.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+namespace {
+FiveTuple flow_a() {
+  return {make_ipv4(10, 0, 1, 1), make_ipv4(20, 0, 1, 1), 4242, 443, 6};
+}
+}  // namespace
+
+int main() {
+  std::cout << "# Fig 3 — NAT vs Monitor interrupts: unequal impact on the VPN\n";
+
+  sim::Simulator sim;
+  collector::Collector col;
+  auto net = eval::build_fig3(sim, &col);
+
+  nf::CaidaLikeOptions heavy;
+  heavy.duration = 5_ms;
+  heavy.rate_mpps = 0.25;
+  heavy.num_flows = 400;
+  heavy.seed = 31;
+  nf::CaidaLikeOptions light = heavy;
+  light.rate_mpps = 0.05;
+  light.seed = 32;
+  net.topo->source(net.nat_source).load(nf::generate_caida_like(heavy));
+  net.topo->source(net.mon_source).load(nf::generate_caida_like(light));
+  net.topo->source(net.flow_a_source)
+      .load(nf::generate_constant_rate(flow_a(), 0, 5_ms, 0.05));
+
+  nf::InjectionLog log;
+  nf::schedule_interrupt(sim, net.topo->nf(net.nat), 1_ms, 600_us, log);
+  nf::schedule_interrupt(sim, net.topo->nf(net.monitor), 1_ms, 600_us, log);
+  sim.run_until(10_ms);
+
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = net.topo->options().prop_delay;
+  const auto rt = trace::reconstruct(col, trace::graph_view(*net.topo), ropt);
+
+  // (c) input rate to the VPN from each upstream, per 0.2 ms bin.
+  constexpr DurationNs kBin = 200_us;
+  const auto& tl = rt.timeline(net.vpn);
+  std::vector<double> from_nat(25, 0.0), from_mon(25, 0.0), from_a(25, 0.0);
+  for (const trace::Arrival& a : tl.arrivals) {
+    const auto bin = static_cast<std::size_t>(a.t / kBin);
+    if (bin >= from_nat.size()) continue;
+    if (a.from == net.nat) from_nat[bin] += 1.0;
+    else if (a.from == net.monitor) from_mon[bin] += 1.0;
+    else from_a[bin] += 1.0;
+  }
+  auto to_series = [&](const std::vector<double>& v) {
+    std::vector<std::pair<double, double>> s;
+    for (std::size_t b = 0; b < v.size(); ++b)
+      s.push_back({to_ms(static_cast<TimeNs>(b) * kBin), v[b] / to_us(kBin)});
+    return s;
+  };
+  eval::print_series(std::cout, "(c1) VPN input rate from the NAT",
+                     "time (ms)", "Mpps", to_series(from_nat));
+  std::cout << "\n";
+  eval::print_series(std::cout, "(c2) VPN input rate from the Monitor",
+                     "time (ms)", "Mpps", to_series(from_mon));
+
+  // (b) per-group victims at the VPN (latency beyond 40 us).
+  core::Diagnoser diag(rt, net.topo->peak_rates());
+  double nat_score = 0, mon_score = 0;
+  std::size_t victims = 0, nat_first = 0;
+  for (const core::Victim& v : diag.latency_victims_by_threshold(40_us)) {
+    if (v.node != net.vpn) continue;
+    ++victims;
+    const auto ranked = core::rank_causes(diag.diagnose(v));
+    for (const core::RankedCause& rc : ranked) {
+      if (rc.culprit.node == net.nat) nat_score += rc.score;
+      if (rc.culprit.node == net.monitor) mon_score += rc.score;
+    }
+    if (!ranked.empty() && ranked[0].culprit.node == net.nat) ++nat_first;
+  }
+  std::cout << "\nVPN victims: " << victims << "; NAT ranked first for "
+            << nat_first << "\n";
+  std::cout << "aggregate culprit score: NAT " << eval::fmt_double(nat_score, 1)
+            << " vs Monitor " << eval::fmt_double(mon_score, 1);
+  if (mon_score > 0)
+    std::cout << "  (" << eval::fmt_double(nat_score / mon_score, 1) << "x)";
+  std::cout << "\n# paper: the NAT's input-rate increase dominates (~5x the"
+               " Monitor's rate)\n";
+  return 0;
+}

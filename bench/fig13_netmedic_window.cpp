@@ -1,0 +1,72 @@
+// Figure 13: NetMedic's correct (rank-1) rate across time-window sizes.
+//
+// Paper result: best at 10 ms (~0.36 correct rate), worse at 1 ms and
+// 50/100 ms — no window size fixes time-based correlation.
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+int main() {
+  const auto cfg = bench::accuracy_config(/*seed=*/13);
+  std::cout << "# Fig 13 — NetMedic correct rate vs window size\n";
+
+  auto ex = eval::run_experiment(cfg);
+  const auto rt = ex.reconstruct();
+
+  core::Diagnoser diag(rt, ex.peak_rates());
+  eval::Oracle oracle(ex.injections);
+  auto victims =
+      diag.latency_victims_by_threshold(bench::kVictimLatencyThreshold);
+  if (victims.size() > 4000) {  // bound wall time across 5 window sizes
+    std::vector<core::Victim> sampled;
+    const std::size_t stride = victims.size() / 4000 + 1;
+    for (std::size_t i = 0; i < victims.size(); i += stride)
+      sampled.push_back(victims[i]);
+    victims = std::move(sampled);
+  }
+
+  // Correct rate per window, macro-averaged over the three fault classes so
+  // the most victim-heavy class does not dominate the curve.
+  std::vector<std::pair<double, double>> points;
+  for (const DurationNs w : {1_ms, 5_ms, 10_ms, 50_ms, 100_ms}) {
+    netmedic::NetMedicOptions nopt;
+    nopt.window = w;
+    netmedic::NetMedic nm(rt, ex.busy, nopt);
+    std::map<nf::FaultType, std::vector<int>> by_type;
+    for (const auto& v : victims) {
+      const auto exp = oracle.expected_for(v.time);
+      if (!exp) continue;
+      by_type[exp->type].push_back(
+          eval::netmedic_rank(nm.diagnose(v.node, v.time), *exp));
+    }
+    double sum = 0;
+    std::size_t n = 0;
+    std::cout << "  window " << to_ms(w) << " ms:";
+    for (const auto& [type, ranks] : by_type) {
+      const double r1 = eval::rank1_fraction(ranks);
+      std::cout << "  " << nf::to_string(type) << "=" << eval::fmt_pct(r1);
+      sum += r1;
+      ++n;
+    }
+    std::cout << "\n";
+    points.push_back({to_ms(w), n ? sum / static_cast<double>(n) : 0.0});
+  }
+  std::cout << "\n";
+  eval::print_series(std::cout, "NetMedic correct rate vs window",
+                     "window (ms)", "correct rate (macro-avg)", points);
+
+  // For reference: Microscope on the same victims.
+  std::vector<int> ms_ranks;
+  for (const auto& v : victims) {
+    const auto exp = oracle.expected_for(v.time);
+    if (!exp) continue;
+    ms_ranks.push_back(eval::microscope_rank(diag.diagnose(v), *exp));
+  }
+  std::cout << "\nMicroscope correct rate on the same victims: "
+            << eval::fmt_pct(eval::rank1_fraction(ms_ranks)) << "\n";
+  std::cout << "# paper: NetMedic peaks at 10 ms (~36%), Microscope 89.7%\n";
+  return 0;
+}

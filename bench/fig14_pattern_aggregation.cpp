@@ -1,0 +1,69 @@
+// Figure 14 + §6.4: effectiveness of pattern aggregation.
+//
+// Paper setup: CAIDA at 1.2 Mpps through the Fig. 10 chain; TCP flows
+// 100.0.0.1 -> 32.0.0.1 (sports 2000-2008, dports 6000-6008) trigger a bug
+// at Firewall 2. Paper result: 84K packet-level causal relations compress
+// to ~80 patterns in ~3 minutes; bug-triggering flows surface as culprits
+// even though Microscope knows nothing about the bug.
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+int main() {
+  std::cout << "# Fig 14 — pattern aggregation exposes bug-triggering flows\n";
+
+  eval::ExperimentConfig cfg;
+  cfg.traffic.duration =
+      static_cast<DurationNs>(800'000'000.0 * bench::bench_scale());
+  cfg.traffic.rate_mpps = 1.2;
+  cfg.traffic.num_flows = 3000;
+  cfg.plan.bursts = 0;
+  cfg.plan.interrupts = 0;
+  cfg.plan.bug_triggers = 16;  // repeated intermittent triggers (§4.4)
+  cfg.plan.first_at = 30_ms;
+  cfg.plan.spacing = 45_ms;
+  cfg.seed = 64;
+
+  auto ex = eval::run_experiment(cfg);
+  const auto rt = ex.reconstruct();
+
+  core::Diagnoser diag(rt, ex.peak_rates());
+  std::vector<core::Diagnosis> diagnoses;
+  for (const core::Victim& v : diag.latency_victims_by_percentile(99.7))
+    diagnoses.push_back(diag.diagnose(v));
+
+  const auto records = autofocus::flatten_diagnoses(diagnoses);
+  std::cout << "victims diagnosed: " << diagnoses.size()
+            << ", packet-level causal relations: " << records.size() << "\n";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  autofocus::AggregateOptions aopt;
+  aopt.threshold_frac = 0.01;  // the paper's 1% threshold
+  const auto patterns = autofocus::aggregate_patterns(records, ex.catalog, aopt);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  std::cout << "aggregated to " << patterns.size() << " patterns in "
+            << eval::fmt_double(std::chrono::duration<double>(t1 - t0).count(), 2)
+            << " s\n\n";
+  std::cout << "top patterns (<culprit 5-tuple> <culprit NF> => <victim>):\n";
+  for (std::size_t i = 0; i < patterns.size() && i < 12; ++i)
+    std::cout << "  " << autofocus::format_pattern(patterns[i], ex.catalog)
+              << "\n";
+
+  // How many of the top patterns carry the bug-trigger flows as culprits?
+  std::size_t bug_patterns = 0;
+  for (const autofocus::Pattern& p : patterns) {
+    if (p.kind != core::CauseKind::kLocalProcessing) continue;
+    if (p.culprit.src.covers(Ipv4Prefix::host(make_ipv4(100, 0, 0, 1))) &&
+        p.culprit.src.len > 0)
+      ++bug_patterns;
+  }
+  std::cout << "\npatterns naming the bug-trigger flows as culprits: "
+            << bug_patterns << "\n";
+  std::cout << "# paper: 84K relations -> 80 patterns (~3 min); four patterns"
+               " carry the bug flows\n";
+  return 0;
+}

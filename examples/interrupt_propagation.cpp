@@ -1,0 +1,70 @@
+// The paper's §2 example 2: impact propagation across NFs (Fig. 2).
+//
+// CAIDA-like traffic flows source -> NAT -> VPN. A separate flow A goes
+// straight to the VPN and shares only that queue. The NAT takes a CPU
+// interrupt; after it ends, the NAT blasts its backlog downstream, the VPN
+// queue builds, and flow A suffers — *after* and *away from* the culprit
+// event. Time-window correlation points at the wrong thing; queue-based
+// causal analysis walks right back to the NAT.
+#include <iostream>
+
+#include "microscope/microscope.hpp"
+
+using namespace microscope;
+
+namespace {
+FiveTuple flow_a() {
+  return {make_ipv4(10, 0, 1, 1), make_ipv4(20, 0, 1, 1), 4242, 443, 6};
+}
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  collector::Collector collector;
+  auto net = eval::build_fig2(simulator, &collector);
+
+  nf::CaidaLikeOptions topts;
+  topts.duration = 30_ms;
+  topts.rate_mpps = 0.7;
+  topts.seed = 3;
+  net.topo->source(net.caida_source).load(nf::generate_caida_like(topts));
+  net.topo->source(net.flow_a_source)
+      .load(nf::generate_constant_rate(flow_a(), 0, 30_ms, 0.05));
+
+  // The culprit: an 800 us interrupt at the NAT at t = 10 ms.
+  nf::InjectionLog log;
+  nf::schedule_interrupt(simulator, net.topo->nf(net.nat), 10_ms, 800_us, log);
+  simulator.run_until(40_ms);
+
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = net.topo->options().prop_delay;
+  const auto rt = trace::reconstruct(collector, trace::graph_view(*net.topo),
+                                     ropt);
+  core::Diagnoser diag(rt, net.topo->peak_rates());
+
+  // Flow A's victims at the VPN, which never touch the NAT.
+  std::size_t shown = 0;
+  for (const core::Victim& v : diag.latency_victims_by_threshold(60_us)) {
+    if (!(v.flow == flow_a()) || v.node != net.vpn) continue;
+    if (++shown > 5) break;
+    std::cout << "flow-A victim at " << eval::fmt_double(to_ms(v.time), 3)
+              << " ms (VPN latency " << eval::fmt_double(to_us(v.hop_latency), 0)
+              << " us):\n";
+    for (const core::RankedCause& rc : core::rank_causes(diag.diagnose(v))) {
+      std::cout << "   " << net.topo->name(rc.culprit.node) << " ["
+                << core::to_string(rc.culprit.kind) << "] score "
+                << eval::fmt_double(rc.score, 1) << ", behaviour at ["
+                << eval::fmt_double(to_ms(rc.t0), 3) << ", "
+                << eval::fmt_double(to_ms(rc.t1), 3) << "] ms\n";
+    }
+  }
+  if (shown == 0) {
+    std::cout << "no flow-A victims found (unexpected)\n";
+    return 1;
+  }
+  std::cout << "\nNote the top culprit: the NAT's local processing, with its "
+               "behaviour window\nstarting at 10 ms — the interrupt — even "
+               "though flow A never traverses the\nNAT and its victims appear "
+               "only ~1 ms later at the VPN.\n";
+  return 0;
+}

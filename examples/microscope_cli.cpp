@@ -1,0 +1,240 @@
+// microscope_cli — config-driven scenario runner and diagnoser.
+//
+// Runs a chosen topology with CAIDA-like traffic, injects faults described
+// on the command line, and prints the operator diagnosis report (optionally
+// persisting the raw trace for later offline analysis).
+//
+// Usage:
+//   microscope_cli [options]
+//     --topology fig10|chain          (default fig10)
+//     --duration <ms>                 simulated traffic length (default 150)
+//     --rate <mpps>                   aggregate rate (default 1.2)
+//     --seed <n>                      RNG seed (default 1)
+//     --burst t=<ms>,n=<pkts>         inject a traffic burst (repeatable)
+//     --interrupt nf=<name>,t=<ms>,len=<us>   inject an interrupt (repeatable)
+//     --bug fw=<index>,t=<ms>,n=<pkts>        firewall bug + trigger flow
+//     --noise <per-sec>               natural noise rate per NF (default 0)
+//     --threshold <us>                victim latency threshold (default 200)
+//     --save <path>                   persist the collector trace
+//     --patterns                      also run pattern aggregation
+//     --json                          emit the report as JSON
+//
+// Example:
+//   microscope_cli --duration 200 --burst t=60,n=2000 --patterns
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "microscope/microscope.hpp"
+
+using namespace microscope;
+
+namespace {
+
+/// Parse "k1=v1,k2=v2" into a map.
+std::map<std::string, std::string> parse_kv(const std::string& s) {
+  std::map<std::string, std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    out[item.substr(0, eq)] = item.substr(eq + 1);
+  }
+  return out;
+}
+
+double get_num(const std::map<std::string, std::string>& kv,
+               const std::string& key, double fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : std::atof(it->second.c_str());
+}
+
+struct BurstSpec {
+  TimeNs t;
+  std::size_t n;
+};
+struct InterruptSpec {
+  std::string nf;
+  TimeNs t;
+  DurationNs len;
+};
+struct BugSpec {
+  int fw_index;
+  TimeNs t;
+  std::size_t n;
+};
+
+[[noreturn]] void usage_error(const std::string& msg) {
+  std::cerr << "error: " << msg << "\nsee the header comment for usage\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topology = "fig10";
+  DurationNs duration = 150_ms;
+  double rate = 1.2;
+  std::uint64_t seed = 1;
+  double noise = 0.0;
+  DurationNs threshold = 200_us;
+  std::string save_path;
+  bool want_patterns = false;
+  bool want_json = false;
+  std::vector<BurstSpec> bursts;
+  std::vector<InterruptSpec> interrupts;
+  std::optional<BugSpec> bug;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage_error(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--topology") {
+      topology = next();
+    } else if (arg == "--duration") {
+      duration = static_cast<DurationNs>(std::atof(next().c_str()) * 1e6);
+    } else if (arg == "--rate") {
+      rate = std::atof(next().c_str());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--noise") {
+      noise = std::atof(next().c_str());
+    } else if (arg == "--threshold") {
+      threshold = static_cast<DurationNs>(std::atof(next().c_str()) * 1e3);
+    } else if (arg == "--save") {
+      save_path = next();
+    } else if (arg == "--patterns") {
+      want_patterns = true;
+    } else if (arg == "--json") {
+      want_json = true;
+    } else if (arg == "--burst") {
+      const auto kv = parse_kv(next());
+      bursts.push_back({static_cast<TimeNs>(get_num(kv, "t", 50) * 1e6),
+                        static_cast<std::size_t>(get_num(kv, "n", 1500))});
+    } else if (arg == "--interrupt") {
+      const auto kv = parse_kv(next());
+      InterruptSpec spec;
+      spec.nf = kv.count("nf") ? kv.at("nf") : "nat1";
+      spec.t = static_cast<TimeNs>(get_num(kv, "t", 50) * 1e6);
+      spec.len = static_cast<DurationNs>(get_num(kv, "len", 800) * 1e3);
+      interrupts.push_back(spec);
+    } else if (arg == "--bug") {
+      const auto kv = parse_kv(next());
+      bug = BugSpec{static_cast<int>(get_num(kv, "fw", 1)),
+                    static_cast<TimeNs>(get_num(kv, "t", 60) * 1e6),
+                    static_cast<std::size_t>(get_num(kv, "n", 120))};
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "see the header comment of examples/microscope_cli.cpp\n";
+      return 0;
+    } else {
+      usage_error("unknown option " + arg);
+    }
+  }
+  if (topology != "fig10")
+    usage_error("only the fig10 topology is wired up in this CLI");
+
+  // ---- build + inject + run ----
+  sim::Simulator simulator;
+  collector::Collector col;
+  eval::Fig10Options fopt;
+  fopt.seed = seed;
+  auto net = eval::build_fig10(simulator, &col, fopt);
+  nf::Topology& topo = *net.topo;
+
+  nf::CaidaLikeOptions topts;
+  topts.duration = duration;
+  topts.rate_mpps = rate;
+  topts.seed = seed;
+  topts.num_flows = 3000;
+  auto traffic = nf::generate_caida_like(topts);
+
+  Rng rng(seed ^ 0xC11);
+  std::uint32_t tag = 0;
+  for (const BurstSpec& b : bursts) {
+    FiveTuple flow;
+    flow.src_ip = make_ipv4(10, 99, 0, static_cast<std::uint32_t>(
+                                           1 + rng.uniform_u64(250)));
+    flow.dst_ip = make_ipv4(172, 31, 0, static_cast<std::uint32_t>(
+                                            1 + rng.uniform_u64(250)));
+    flow.src_port = static_cast<std::uint16_t>(1024 + rng.uniform_u64(60000));
+    flow.dst_port = 443;
+    flow.proto = 6;
+    nf::inject_burst(traffic, flow, b.t, b.n, 120, ++tag);
+    std::cout << "burst @" << to_ms(b.t) << " ms: " << b.n << " pkts of "
+              << format_five_tuple(flow) << "\n";
+  }
+
+  nf::InjectionLog log;
+  for (const InterruptSpec& spec : interrupts) {
+    NodeId target = kInvalidNode;
+    for (const NodeId id : net.all_nfs())
+      if (topo.name(id) == spec.nf) target = id;
+    if (target == kInvalidNode) usage_error("unknown NF name " + spec.nf);
+    nf::schedule_interrupt(simulator, topo.nf(target), spec.t, spec.len, log);
+    std::cout << "interrupt @" << to_ms(spec.t) << " ms: " << spec.nf << " for "
+              << to_us(spec.len) << " us\n";
+  }
+
+  if (bug) {
+    if (bug->fw_index < 0 ||
+        bug->fw_index >= static_cast<int>(net.firewalls.size()))
+      usage_error("bug fw index out of range");
+    const NodeId fw = net.firewalls[static_cast<std::size_t>(bug->fw_index)];
+    nf::FirewallBug fb;
+    fb.match = eval::bug_firewall_matcher();
+    fb.slow_service_ns = 20_us;
+    dynamic_cast<nf::Firewall&>(topo.nf(fw)).set_bug(fb);
+    const auto triggers = eval::bug_trigger_flows(net, fw);
+    nf::inject_burst(traffic, triggers[0], bug->t, bug->n, 5_us, ++tag);
+    std::cout << "bug @" << topo.name(fw) << ", triggers @" << to_ms(bug->t)
+              << " ms: " << bug->n << " pkts\n";
+  }
+
+  if (noise > 0) {
+    for (const NodeId id : net.all_nfs()) {
+      nf::NoiseOptions nopt;
+      nopt.interrupts_per_sec = noise;
+      nopt.seed = seed ^ id;
+      nf::schedule_natural_noise(simulator, topo.nf(id), nopt, duration, log);
+    }
+  }
+
+  topo.source(net.source).load(std::move(traffic));
+  simulator.run_until(duration + 20_ms);
+  std::cout << "simulated " << to_ms(duration) << " ms of traffic; collected "
+            << col.compressed_bytes() / 1024 << " KiB of records\n\n";
+
+  if (!save_path.empty()) {
+    collector::save_trace(col, save_path);
+    std::cout << "trace saved to " << save_path << "\n";
+  }
+
+  // ---- diagnose + report ----
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = topo.options().prop_delay;
+  const auto rt = trace::reconstruct(col, trace::graph_view(topo), ropt);
+  core::Diagnoser diag(rt, topo.peak_rates());
+
+  std::vector<core::Diagnosis> diagnoses;
+  for (const core::Victim& v : diag.latency_victims_by_threshold(threshold))
+    diagnoses.push_back(diag.diagnose(v));
+
+  std::vector<autofocus::Pattern> patterns;
+  const auto catalog = eval::make_catalog(topo);
+  if (want_patterns) {
+    patterns = autofocus::aggregate_patterns(
+        autofocus::flatten_diagnoses(diagnoses), catalog, {});
+  }
+  if (want_json) {
+    std::cout << eval::report_to_json(diagnoses, catalog, patterns) << "\n";
+  } else {
+    eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
+  }
+  return 0;
+}

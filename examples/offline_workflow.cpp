@@ -1,0 +1,80 @@
+// The deployment workflow: record now, diagnose later.
+//
+// The paper's collector dumps records to disk through a standalone dumper;
+// diagnosis runs offline, possibly elsewhere. This example (1) runs a
+// scenario and persists the collector's records to a trace file, then
+// (2) loads the file fresh — no ground truth, no live topology objects,
+// just the records and the static DAG — and produces the operator report.
+//
+//   ./offline_workflow [trace-file]
+#include <cstdio>
+#include <iostream>
+
+#include "microscope/microscope.hpp"
+
+using namespace microscope;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/microscope_demo.trace";
+
+  // ---------------- phase 1: runtime (record) ----------------
+  trace::GraphView graph;
+  std::vector<RatePerNs> peak_rates;
+  autofocus::NfCatalog catalog;
+  {
+    sim::Simulator simulator;
+    collector::Collector col;
+    auto net = eval::build_fig10(simulator, &col);
+
+    // A firewall bug plus a couple of bursts, so there is something to find.
+    const NodeId bug_fw = net.firewalls[2];
+    nf::FirewallBug bug;
+    bug.match = eval::bug_firewall_matcher();
+    bug.slow_service_ns = 20_us;
+    dynamic_cast<nf::Firewall&>(net.topo->nf(bug_fw)).set_bug(bug);
+
+    nf::CaidaLikeOptions topts;
+    topts.duration = 100_ms;
+    topts.rate_mpps = 1.2;
+    topts.num_flows = 2000;
+    topts.seed = 12;
+    auto traffic = nf::generate_caida_like(topts);
+    const auto triggers = eval::bug_trigger_flows(net, bug_fw);
+    nf::inject_burst(traffic, triggers[0], 30_ms, 110, 5_us, 1);
+    FiveTuple burst{make_ipv4(10, 66, 0, 1), make_ipv4(172, 31, 1, 1), 6060,
+                    443, 6};
+    nf::inject_burst(traffic, burst, 70_ms, 1500, 130, 2);
+    net.topo->source(net.source).load(std::move(traffic));
+    simulator.run_until(130_ms);
+
+    collector::save_trace(col, path);
+    std::cout << "recorded " << col.compressed_bytes() / 1024
+              << " KiB of compressed records to " << path << "\n";
+
+    // The offline side needs only the static facts an operator has anyway:
+    graph = trace::graph_view(*net.topo);
+    peak_rates = net.topo->peak_rates();  // from offline calibration
+    catalog = eval::make_catalog(*net.topo);
+  }  // everything from the live run is gone
+
+  // ---------------- phase 2: offline (diagnose) ----------------
+  const collector::Collector col = collector::load_trace(path);
+  const auto rt = trace::reconstruct(col, graph, {});
+  std::cout << "reconstructed " << rt.journeys().size()
+            << " journeys from the trace file\n\n";
+
+  core::Diagnoser diag(rt, peak_rates);
+  std::vector<core::Diagnosis> diagnoses;
+  for (const core::Victim& v : diag.latency_victims_by_threshold(200_us))
+    diagnoses.push_back(diag.diagnose(v));
+
+  const auto records = autofocus::flatten_diagnoses(diagnoses);
+  const auto patterns = autofocus::aggregate_patterns(records, catalog, {});
+
+  eval::ReportOptions ropts;
+  ropts.max_patterns = 8;
+  eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns, ropts);
+
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// "Running in the wild" (paper §6.5): diagnose organic tail latency.
+//
+// High-load CAIDA-like traffic through the 16-NF chain with realistic
+// natural noise (short random interrupts, service jitter) and no injected
+// faults. Microscope diagnoses the 99.9th-percentile-latency packets and
+// the report shows the §6.5 phenomena: a sizeable propagated fraction,
+// highly variable culprit->victim gaps, and uneven blame across instances.
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "microscope/microscope.hpp"
+
+using namespace microscope;
+
+int main() {
+  sim::Simulator simulator;
+  collector::Collector collector;
+  auto net = eval::build_fig10(simulator, &collector);
+
+  nf::CaidaLikeOptions topts;
+  topts.duration = 300_ms;
+  topts.rate_mpps = 1.6;  // the paper's high-load setting
+  topts.num_flows = 4000;
+  topts.seed = 99;
+
+  // Natural noise, uneven across instances.
+  nf::InjectionLog log;
+  Rng rng(5);
+  for (const NodeId id : net.all_nfs()) {
+    nf::NoiseOptions nopt;
+    nopt.interrupts_per_sec = 40.0 * (0.5 + 1.5 * rng.uniform01());
+    nopt.min_len = 40_us;
+    nopt.max_len = 300_us;
+    nopt.seed = 1000 + id;
+    nf::schedule_natural_noise(simulator, net.topo->nf(id), nopt,
+                               topts.duration, log);
+  }
+
+  net.topo->source(net.source).load(nf::generate_caida_like(topts));
+  simulator.run_until(topts.duration + 20_ms);
+
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = net.topo->options().prop_delay;
+  const auto rt = trace::reconstruct(collector, trace::graph_view(*net.topo),
+                                     ropt);
+  core::Diagnoser diag(rt, net.topo->peak_rates());
+
+  const auto victims = diag.latency_victims_by_percentile(99.9);
+  std::cout << "p99.9 victims: " << victims.size() << "\n";
+
+  std::size_t propagated = 0, total = 0;
+  std::vector<double> gaps_ms;
+  std::map<std::string, std::size_t> culprit_count;
+  for (const core::Victim& v : victims) {
+    const auto ranked = core::rank_causes(diag.diagnose(v));
+    if (ranked.empty()) continue;
+    ++total;
+    const auto& top = ranked.front();
+    if (top.culprit.node != v.node) ++propagated;
+    gaps_ms.push_back(to_ms(v.time - top.t0));
+    ++culprit_count[net.topo->name(top.culprit.node)];
+  }
+  if (total == 0) return 0;
+
+  std::cout << "victims whose top culprit is a *different* node: "
+            << eval::fmt_pct(static_cast<double>(propagated) /
+                             static_cast<double>(total))
+            << "\n";
+  std::cout << "culprit->victim gap: median "
+            << eval::fmt_double(percentile(gaps_ms, 50), 2) << " ms, p95 "
+            << eval::fmt_double(percentile(gaps_ms, 95), 2) << " ms\n\n";
+  std::cout << "blame by node (top culprit per victim):\n";
+  for (const auto& [name, count] : culprit_count)
+    std::cout << "  " << std::setw(6) << name << " : " << count << "\n";
+
+  std::cout << "\nEven with identical configs, instances misbehave unevenly —"
+               "\nthe paper's §6.5 observation.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Two-phase causal pattern aggregation (paper §4.4).
+//
+// Input: packet-level causal relations flattened to
+//   <culprit flow, culprit NF, cause kind> -> <victim flow, victim NF> : score.
+// Output: a ranked, compact list of patterns
+//   <culprit flow agg, culprit NF set> => <victim flow agg, victim NF set> : score.
+//
+// The decoupling: phase 1 aggregates victim dimensions per exact culprit,
+// phase 2 aggregates culprit dimensions across the intermediate aggregates.
+// This avoids the full 12-dimensional lattice and, per the paper, loses no
+// significant pattern in practice.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "autofocus/hhh.hpp"
+#include "core/relation.hpp"
+
+namespace microscope::autofocus {
+
+struct RelationRecord {
+  FiveTuple culprit_flow{};
+  NodeId culprit_nf{kInvalidNode};
+  core::CauseKind kind{core::CauseKind::kLocalProcessing};
+  FiveTuple victim_flow{};
+  NodeId victim_nf{kInvalidNode};
+  double score{0.0};
+};
+
+struct Pattern {
+  SideKey culprit{};
+  core::CauseKind kind{core::CauseKind::kLocalProcessing};
+  SideKey victim{};
+  double score{0.0};
+};
+
+struct AggregateOptions {
+  /// Significance threshold as a fraction of total relation mass (paper
+  /// uses 1%).
+  double threshold_frac = 0.01;
+  /// Phase-1 intra-culprit compression threshold (fraction of the culprit
+  /// group's own mass).
+  double phase1_frac = 0.2;
+  std::size_t max_clusters_per_dim = 32;
+};
+
+/// Run the two-phase aggregation. Patterns are returned by descending score.
+std::vector<Pattern> aggregate_patterns(std::span<const RelationRecord> records,
+                                        const NfCatalog& catalog,
+                                        const AggregateOptions& opts = {});
+
+/// Flatten diagnoses into relation records (one per culprit flow weight).
+std::vector<RelationRecord> flatten_diagnoses(
+    std::span<const core::Diagnosis> diagnoses);
+
+/// "<culprit side> => <victim side>  score" (paper Fig. 14 format).
+std::string format_pattern(const Pattern& p, const NfCatalog& catalog);
+
+}  // namespace microscope::autofocus

@@ -1,0 +1,122 @@
+#include "autofocus/hhh.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace microscope::autofocus {
+namespace {
+
+/// Copy dimension `dim`'s field from `from` into `into`.
+void merge_field(SideKey& into, const SideKey& from, int dim) {
+  switch (dim) {
+    case 0:
+      into.src = from.src;
+      break;
+    case 1:
+      into.dst = from.dst;
+      break;
+    case 2:
+      into.sport = from.sport;
+      break;
+    case 3:
+      into.dport = from.dport;
+      break;
+    case 4:
+      into.proto = from.proto;
+      break;
+    case 5:
+      into.nf = from.nf;
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<SideCluster> side_hhh(std::span<const WeightedSide> leaves,
+                                  const HhhOptions& opts) {
+  if (leaves.empty()) return {};
+
+  // Deduplicate leaves (sums masses of identical keys).
+  std::unordered_map<SideKey, double, SideKeyHash> uniq;
+  for (const WeightedSide& w : leaves) uniq[w.key] += w.mass;
+
+  // --- 1-D hierarchical passes: per-dimension significant value codes. ---
+  std::vector<std::unordered_set<std::uint64_t>> dim_clusters(kSideDims);
+  for (int d = 0; d < kSideDims; ++d) {
+    std::unordered_map<std::uint64_t, double> mass;
+    for (const auto& [key, m] : uniq) {
+      for (const SideKey& anc : generalize_dim(key, d))
+        mass[dim_code(anc, d)] += m;
+    }
+    std::vector<std::pair<std::uint64_t, double>> heavy;
+    for (const auto& [code, m] : mass)
+      if (m >= opts.threshold) heavy.push_back({code, m});
+    std::sort(heavy.begin(), heavy.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (heavy.size() > opts.max_clusters_per_dim)
+      heavy.resize(opts.max_clusters_per_dim);
+    for (const auto& [code, m] : heavy) dim_clusters[d].insert(code);
+    // Root is always a valid generalization target.
+    SideKey root;  // default-constructed: fully general in every dim
+    dim_clusters[d].insert(dim_code(root, d));
+  }
+
+  // --- Per-leaf combination enumeration restricted to cluster sets. ---
+  std::unordered_map<SideKey, double, SideKeyHash> combo_mass;
+  std::vector<std::vector<SideKey>> ladders(kSideDims);
+  for (const auto& [key, m] : uniq) {
+    for (int d = 0; d < kSideDims; ++d) {
+      ladders[d].clear();
+      for (const SideKey& anc : generalize_dim(key, d)) {
+        if (dim_clusters[d].contains(dim_code(anc, d)))
+          ladders[d].push_back(anc);
+      }
+    }
+    // Nested product over the six (small) ladders.
+    SideKey combo = key;
+    for (const SideKey& a0 : ladders[0]) {
+      merge_field(combo, a0, 0);
+      for (const SideKey& a1 : ladders[1]) {
+        merge_field(combo, a1, 1);
+        for (const SideKey& a2 : ladders[2]) {
+          merge_field(combo, a2, 2);
+          for (const SideKey& a3 : ladders[3]) {
+            merge_field(combo, a3, 3);
+            for (const SideKey& a4 : ladders[4]) {
+              merge_field(combo, a4, 4);
+              for (const SideKey& a5 : ladders[5]) {
+                merge_field(combo, a5, 5);
+                combo_mass[combo] += m;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- Threshold + compression (most specific first). ---
+  std::vector<SideCluster> kept;
+  for (const auto& [key, m] : combo_mass) {
+    if (m >= opts.threshold) kept.push_back({key, m, m});
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const SideCluster& a, const SideCluster& b) {
+              const int ga = a.key.generality(), gb = b.key.generality();
+              return ga != gb ? ga < gb : a.mass > b.mass;
+            });
+
+  std::vector<SideCluster> reported;
+  for (SideCluster& c : kept) {
+    double covered = 0.0;
+    for (const SideCluster& r : reported) {
+      if (!(r.key == c.key) && c.key.covers(r.key)) covered += r.residual;
+    }
+    c.residual = c.mass - covered;
+    if (c.residual >= opts.threshold) reported.push_back(c);
+  }
+  return reported;
+}
+
+}  // namespace microscope::autofocus

@@ -1,0 +1,41 @@
+// Multi-dimensional hierarchical heavy hitters over one pattern side.
+//
+// AutoFocus-style: (1) find the significant values per dimension with 1-D
+// hierarchical passes, (2) enumerate per-record combinations restricted to
+// those per-dimension clusters (the key observation of §4.4: significant
+// multi-dimensional aggregates project onto significant unidimensional
+// ones), (3) keep combinations above the threshold and compress away masses
+// already explained by reported descendants.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autofocus/hierarchy.hpp"
+
+namespace microscope::autofocus {
+
+struct WeightedSide {
+  SideKey key;   // fully-specific leaf
+  double mass{0.0};
+};
+
+struct SideCluster {
+  SideKey key;
+  double mass{0.0};      // total mass covered
+  double residual{0.0};  // mass not explained by reported descendants
+};
+
+struct HhhOptions {
+  /// Absolute mass threshold for significance.
+  double threshold{1.0};
+  /// Cap on per-dimension cluster-set size (top by mass; root always kept).
+  std::size_t max_clusters_per_dim = 32;
+};
+
+/// Compute the significant aggregates of a set of weighted leaves.
+/// Returned most-specific first; every cluster has residual >= threshold.
+std::vector<SideCluster> side_hhh(std::span<const WeightedSide> leaves,
+                                  const HhhOptions& opts);
+
+}  // namespace microscope::autofocus

@@ -1,0 +1,185 @@
+#include "autofocus/hierarchy.hpp"
+
+#include <sstream>
+
+namespace microscope::autofocus {
+
+bool NfSet::covers(const NfSet& o) const {
+  switch (level) {
+    case Level::kAny:
+      return true;
+    case Level::kType:
+      return o.level != Level::kAny && o.type == type;
+    case Level::kInstance:
+      return o.level == Level::kInstance && o.instance == instance;
+  }
+  return false;
+}
+
+SideKey SideKey::leaf(const FiveTuple& ft, NodeId node, const NfCatalog& cat) {
+  SideKey k;
+  k.src = Ipv4Prefix::host(ft.src_ip);
+  k.dst = Ipv4Prefix::host(ft.dst_ip);
+  k.sport = PortRange::exact(ft.src_port);
+  k.dport = PortRange::exact(ft.dst_port);
+  k.proto = ft.proto;
+  k.nf = NfSet::of_instance(node, cat);
+  return k;
+}
+
+bool SideKey::covers(const SideKey& o) const {
+  return src.covers(o.src) && dst.covers(o.dst) && sport.covers(o.sport) &&
+         dport.covers(o.dport) && (!proto || (o.proto && *o.proto == *proto)) &&
+         nf.covers(o.nf);
+}
+
+namespace {
+
+int ip_level_index(std::uint8_t len) {
+  for (int i = 0; i < kNumIpLevels; ++i)
+    if (kIpLevels[i] == len) return i;
+  // Non-ladder lengths count by distance from /32 (shouldn't happen).
+  return (32 - len) / 8;
+}
+
+int port_level(const PortRange& r) {
+  if (r.is_exact()) return 0;
+  if (r.is_any()) return 2;
+  return 1;
+}
+
+}  // namespace
+
+int SideKey::generality() const {
+  int g = 0;
+  g += ip_level_index(src.len);
+  g += ip_level_index(dst.len);
+  g += port_level(sport);
+  g += port_level(dport);
+  g += proto ? 0 : 1;
+  g += static_cast<int>(nf.level);
+  return g;
+}
+
+std::size_t SideKeyHash::operator()(const SideKey& k) const noexcept {
+  auto mix = [](std::size_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::size_t h = 0;
+  h = mix(h, (static_cast<std::uint64_t>(k.src.addr) << 8) | k.src.len);
+  h = mix(h, (static_cast<std::uint64_t>(k.dst.addr) << 8) | k.dst.len);
+  h = mix(h, (static_cast<std::uint64_t>(k.sport.lo) << 16) | k.sport.hi);
+  h = mix(h, (static_cast<std::uint64_t>(k.dport.lo) << 16) | k.dport.hi);
+  h = mix(h, k.proto ? *k.proto + 1 : 0);
+  h = mix(h, (static_cast<std::uint64_t>(k.nf.level) << 48) |
+                 (static_cast<std::uint64_t>(k.nf.type) << 32) | k.nf.instance);
+  return h;
+}
+
+std::string format_port_range(const PortRange& r) {
+  if (r.is_any()) return "*";
+  if (r.is_exact()) return std::to_string(r.lo);
+  return std::to_string(r.lo) + "-" + std::to_string(r.hi);
+}
+
+std::string format_nf_set(const NfSet& s, const NfCatalog& cat) {
+  switch (s.level) {
+    case NfSet::Level::kInstance:
+      return s.instance < cat.node_names.size() ? cat.node_names[s.instance]
+                                                : "nf?" + std::to_string(s.instance);
+    case NfSet::Level::kType:
+      return (s.type < cat.type_names.size() ? cat.type_names[s.type]
+                                             : "type?") +
+             "*";
+    case NfSet::Level::kAny:
+      return "*";
+  }
+  return "?";
+}
+
+std::string format_side(const SideKey& k, const NfCatalog& cat) {
+  std::ostringstream os;
+  os << format_prefix(k.src) << ' ' << format_prefix(k.dst) << ' '
+     << (k.proto ? std::to_string(*k.proto) : std::string("*")) << ' '
+     << format_port_range(k.sport) << ' ' << format_port_range(k.dport) << ' '
+     << format_nf_set(k.nf, cat);
+  return os.str();
+}
+
+std::uint64_t dim_code(const SideKey& k, int dim) {
+  switch (dim) {
+    case 0:
+      return (static_cast<std::uint64_t>(k.src.len) << 32) |
+             (k.src.addr & prefix_mask(k.src.len));
+    case 1:
+      return (static_cast<std::uint64_t>(k.dst.len) << 32) |
+             (k.dst.addr & prefix_mask(k.dst.len));
+    case 2:
+      return (static_cast<std::uint64_t>(k.sport.lo) << 16) | k.sport.hi;
+    case 3:
+      return (static_cast<std::uint64_t>(k.dport.lo) << 16) | k.dport.hi;
+    case 4:
+      return k.proto ? *k.proto + 1 : 0;
+    case 5:
+      return (static_cast<std::uint64_t>(k.nf.level) << 48) |
+             (static_cast<std::uint64_t>(k.nf.type) << 32) |
+             (k.nf.level == NfSet::Level::kInstance ? k.nf.instance : 0);
+  }
+  return 0;
+}
+
+std::vector<SideKey> generalize_dim(const SideKey& k, int dim) {
+  std::vector<SideKey> out;
+  SideKey cur = k;
+  out.push_back(cur);
+  switch (dim) {
+    case 0:
+      for (int i = ip_level_index(cur.src.len) + 1; i < kNumIpLevels; ++i) {
+        cur.src = {cur.src.addr & prefix_mask(kIpLevels[i]), kIpLevels[i]};
+        out.push_back(cur);
+      }
+      break;
+    case 1:
+      for (int i = ip_level_index(cur.dst.len) + 1; i < kNumIpLevels; ++i) {
+        cur.dst = {cur.dst.addr & prefix_mask(kIpLevels[i]), kIpLevels[i]};
+        out.push_back(cur);
+      }
+      break;
+    case 2:
+      if (cur.sport.is_exact()) {
+        cur.sport = PortRange::band(cur.sport.lo);
+        out.push_back(cur);
+      }
+      if (!cur.sport.is_any()) {
+        cur.sport = PortRange::any();
+        out.push_back(cur);
+      }
+      break;
+    case 3:
+      if (cur.dport.is_exact()) {
+        cur.dport = PortRange::band(cur.dport.lo);
+        out.push_back(cur);
+      }
+      if (!cur.dport.is_any()) {
+        cur.dport = PortRange::any();
+        out.push_back(cur);
+      }
+      break;
+    case 4:
+      if (cur.proto) {
+        cur.proto.reset();
+        out.push_back(cur);
+      }
+      break;
+    case 5:
+      while (cur.nf.level != NfSet::Level::kAny) {
+        cur.nf = cur.nf.generalize();
+        out.push_back(cur);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace microscope::autofocus

@@ -1,0 +1,108 @@
+#include "collector/file.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "collector/wire.hpp"
+
+namespace microscope::collector {
+namespace {
+
+template <typename T>
+void put(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("trace file truncated");
+  return v;
+}
+
+}  // namespace
+
+void save_trace(const Collector& col, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+
+  put(os, kTraceFileMagic);
+  put(os, kTraceFileVersion);
+
+  // Node table.
+  std::vector<NodeId> nodes;
+  for (NodeId id = 0; id < col.node_count(); ++id)
+    if (col.has_node(id)) nodes.push_back(id);
+  put(os, static_cast<std::uint32_t>(nodes.size()));
+  for (const NodeId id : nodes) {
+    put(os, id);
+    put(os, static_cast<std::uint8_t>(col.node(id).full_flow ? 1 : 0));
+  }
+
+  // Records, re-encoded through the wire format.
+  std::vector<std::byte> buf;
+  for (const NodeId id : nodes) {
+    const NodeTrace& t = col.node(id);
+    for (const BatchRecord& rec : t.rx_batches) {
+      std::vector<Packet> pkts(rec.count);
+      for (std::uint16_t i = 0; i < rec.count; ++i)
+        pkts[i].ipid = t.rx_ipids[rec.begin + i];
+      buf.clear();
+      encode_batch(buf, Direction::kRx, id, kInvalidNode, rec.ts, pkts, false);
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(buf.size()));
+    }
+    for (const BatchRecord& rec : t.tx_batches) {
+      std::vector<Packet> pkts(rec.count);
+      for (std::uint16_t i = 0; i < rec.count; ++i) {
+        pkts[i].ipid = t.tx_ipids[rec.begin + i];
+        if (t.full_flow) pkts[i].flow = t.tx_flows[rec.begin + i];
+      }
+      buf.clear();
+      encode_batch(buf, Direction::kTx, id, rec.peer, rec.ts, pkts,
+                   t.full_flow);
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(buf.size()));
+    }
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
+Collector load_trace(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for reading: " + path);
+
+  if (get<std::uint32_t>(is) != kTraceFileMagic)
+    throw std::runtime_error("not a microscope trace file: " + path);
+  if (get<std::uint16_t>(is) != kTraceFileVersion)
+    throw std::runtime_error("unsupported trace file version: " + path);
+
+  CollectorOptions opts;
+  opts.ground_truth = false;
+  Collector col(opts);
+
+  const auto n = get<std::uint32_t>(is);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto id = get<NodeId>(is);
+    const auto full = get<std::uint8_t>(is);
+    col.register_node(id, full != 0);
+  }
+
+  WireDecoder dec(col);
+  std::vector<std::byte> chunk(1 << 16);
+  while (is) {
+    is.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(chunk.size()));
+    const auto got = static_cast<std::size_t>(is.gcount());
+    if (got == 0) break;
+    dec.feed(std::span<const std::byte>(chunk.data(), got));
+  }
+  if (!dec.drained())
+    throw std::runtime_error("trailing partial record in: " + path);
+  return col;
+}
+
+}  // namespace microscope::collector

@@ -1,0 +1,28 @@
+// On-disk trace persistence.
+//
+// The paper's runtime dumper persists collector records to disk for offline
+// diagnosis. This is that file format: a small header, a node table
+// (node id, full_flow flag), then the batch records in the same wire format
+// the shared-memory ring uses (collector/wire.hpp). Ground-truth sidecar
+// data is intentionally not persisted — a real deployment doesn't have it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "collector/collector.hpp"
+
+namespace microscope::collector {
+
+/// Magic + version checked on load.
+inline constexpr std::uint32_t kTraceFileMagic = 0x4D535450;  // "MSTP"
+inline constexpr std::uint16_t kTraceFileVersion = 1;
+
+/// Serialize the store to `path`. Throws std::runtime_error on I/O failure.
+void save_trace(const Collector& col, const std::string& path);
+
+/// Load a trace written by save_trace. The returned collector has no
+/// ground-truth sidecar. Throws std::runtime_error on I/O or format errors.
+Collector load_trace(const std::string& path);
+
+}  // namespace microscope::collector

@@ -1,0 +1,60 @@
+// Record types produced by the runtime collector (paper §5, Table 1).
+//
+// The paper instruments DPDK's rx/tx functions and records, per batch, a
+// timestamp plus the batch size, and per packet a compressed entry: the
+// 16-bit IPID everywhere, and the full five-tuple only at the edge of the NF
+// graph (and, in our setup, at traffic sources — the operator knows the
+// traffic they send). This keeps the per-packet cost around two bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow.hpp"
+#include "common/packet.hpp"
+#include "common/time.hpp"
+
+namespace microscope::collector {
+
+enum class Direction : std::uint8_t { kRx, kTx };
+
+/// One instrumented DPDK rx/tx call: a batch of `count` packets whose
+/// per-packet entries live at [begin, begin+count) in the owning trace's
+/// entry arrays.
+struct BatchRecord {
+  TimeNs ts{0};
+  std::uint32_t begin{0};
+  std::uint16_t count{0};
+  /// For tx batches: the downstream node the batch was written to.
+  /// Rx batches do not know their upstream (that is what reconstruction
+  /// recovers), so peer is kInvalidNode there.
+  NodeId peer{kInvalidNode};
+};
+
+/// Everything recorded at one node (NF instance or traffic source).
+struct NodeTrace {
+  // --- rx side (absent for sources) ---
+  std::vector<BatchRecord> rx_batches;
+  std::vector<std::uint16_t> rx_ipids;
+
+  // --- tx side ---
+  std::vector<BatchRecord> tx_batches;
+  std::vector<std::uint16_t> tx_ipids;
+  /// Parallel to tx_ipids; populated only when `full_flow` is set for the
+  /// node (graph edges and sources).
+  std::vector<FiveTuple> tx_flows;
+
+  bool full_flow{false};
+
+  // --- ground-truth sidecar: never read by diagnosis ---
+  // Used by tests (reconstruction verification) and by the evaluation
+  // oracle (mapping victims to injected faults).
+  std::vector<std::uint64_t> rx_uids;
+  std::vector<std::uint64_t> tx_uids;
+  std::vector<std::uint32_t> tx_tags;
+
+  std::size_t rx_packet_count() const { return rx_ipids.size(); }
+  std::size_t tx_packet_count() const { return tx_ipids.size(); }
+};
+
+}  // namespace microscope::collector

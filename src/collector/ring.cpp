@@ -1,0 +1,101 @@
+#include "collector/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace microscope::collector {
+
+SpscByteRing::SpscByteRing(std::size_t capacity_pow2) : buf_(capacity_pow2) {
+  if (capacity_pow2 == 0 || (capacity_pow2 & (capacity_pow2 - 1)) != 0)
+    throw std::invalid_argument("ring capacity must be a power of two");
+  mask_ = capacity_pow2 - 1;
+}
+
+std::size_t SpscByteRing::size() const {
+  return tail_.load(std::memory_order_acquire) -
+         head_.load(std::memory_order_acquire);
+}
+
+bool SpscByteRing::push(std::span<const std::byte> bytes) {
+  const std::size_t head = head_.load(std::memory_order_acquire);
+  const std::size_t tail = tail_.load(std::memory_order_relaxed);
+  if (buf_.size() - (tail - head) < bytes.size()) return false;
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    buf_[(tail + i) & mask_] = bytes[i];
+  tail_.store(tail + bytes.size(), std::memory_order_release);
+  return true;
+}
+
+std::size_t SpscByteRing::pop(std::span<std::byte> out) {
+  const std::size_t tail = tail_.load(std::memory_order_acquire);
+  const std::size_t head = head_.load(std::memory_order_relaxed);
+  const std::size_t n = std::min(out.size(), tail - head);
+  for (std::size_t i = 0; i < n; ++i) out[i] = buf_[(head + i) & mask_];
+  head_.store(head + n, std::memory_order_release);
+  return n;
+}
+
+RingCollector::RingCollector() : RingCollector(Options{}) {}
+
+RingCollector::RingCollector(Options opts)
+    : store_(opts.store),
+      ring_(opts.ring_bytes),
+      decoder_(store_),
+      dumper_([this] { dumper_main(); }) {}
+
+RingCollector::~RingCollector() {
+  stop_.store(true, std::memory_order_release);
+  if (dumper_.joinable()) dumper_.join();
+}
+
+void RingCollector::register_node(NodeId id, bool full_flow) {
+  // Registration happens before the dataplane runs; route it directly.
+  store_.register_node(id, full_flow);
+  if (id >= full_flow_.size()) full_flow_.resize(id + 1, false);
+  full_flow_[id] = full_flow;
+}
+
+void RingCollector::on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) {
+  scratch_.clear();
+  encode_batch(scratch_, Direction::kRx, id, kInvalidNode, ts, batch, false);
+  if (ring_.push(scratch_)) {
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    overruns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RingCollector::on_tx(NodeId id, NodeId peer, TimeNs ts,
+                          std::span<const Packet> batch) {
+  scratch_.clear();
+  encode_batch(scratch_, Direction::kTx, id, peer, ts, batch,
+               id < full_flow_.size() && full_flow_[id]);
+  if (ring_.push(scratch_)) {
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    overruns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RingCollector::flush() {
+  while (decoder_.decoded_batches() <
+         pushed_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void RingCollector::dumper_main() {
+  std::vector<std::byte> chunk(1 << 16);
+  while (true) {
+    const std::size_t n = ring_.pop(chunk);
+    if (n > 0) {
+      decoder_.feed(std::span<const std::byte>(chunk.data(), n));
+    } else if (stop_.load(std::memory_order_acquire)) {
+      if (ring_.size() == 0) break;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace microscope::collector

@@ -1,0 +1,85 @@
+// Shared-memory style SPSC byte ring + standalone dumper.
+//
+// Mirrors the paper's runtime design: the collector hook on the NF critical
+// path only memcpy's encoded records into a lock-free single-producer/
+// single-consumer ring; a separate dumper thread drains the ring into the
+// offline store. If the ring is ever full the producer counts an overrun and
+// drops the record (never blocks the dataplane).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "collector/wire.hpp"
+
+namespace microscope::collector {
+
+/// Lock-free SPSC ring over bytes. Capacity must be a power of two.
+class SpscByteRing {
+ public:
+  explicit SpscByteRing(std::size_t capacity_pow2);
+
+  /// Producer: push all of `bytes` or nothing. Returns false when full.
+  bool push(std::span<const std::byte> bytes);
+
+  /// Consumer: pop up to out.size() bytes; returns bytes popped.
+  std::size_t pop(std::span<std::byte> out);
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const;
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer position
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer position
+};
+
+/// Collector front-end that encodes records into a ring, with a dumper
+/// thread decoding them into an owned offline Collector.
+class RingCollector {
+ public:
+  struct Options {
+    std::size_t ring_bytes = 1 << 22;  // 4 MiB
+    CollectorOptions store;
+  };
+
+  RingCollector();
+  explicit RingCollector(Options opts);
+  ~RingCollector();
+
+  RingCollector(const RingCollector&) = delete;
+  RingCollector& operator=(const RingCollector&) = delete;
+
+  void register_node(NodeId id, bool full_flow);
+  void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch);
+  void on_tx(NodeId id, NodeId peer, TimeNs ts, std::span<const Packet> batch);
+
+  /// Block until every record pushed so far has been decoded.
+  void flush();
+
+  /// Records dropped because the ring was full.
+  std::uint64_t overruns() const { return overruns_.load(); }
+
+  /// The offline store (flush() first for a consistent view).
+  const Collector& store() const { return store_; }
+
+ private:
+  void dumper_main();
+
+  Collector store_;
+  SpscByteRing ring_;
+  std::vector<bool> full_flow_;
+  std::vector<std::byte> scratch_;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> overruns_{0};
+  std::atomic<bool> stop_{false};
+  WireDecoder decoder_;
+  std::thread dumper_;
+};
+
+}  // namespace microscope::collector

@@ -1,0 +1,113 @@
+#include "collector/wire.hpp"
+
+#include <cstring>
+
+namespace microscope::collector {
+namespace {
+
+template <typename T>
+void put(std::vector<std::byte>& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T get(const std::byte* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+struct PackedTuple {
+  std::uint32_t src_ip;
+  std::uint32_t dst_ip;
+  std::uint16_t src_port;
+  std::uint16_t dst_port;
+  std::uint8_t proto;
+};
+static_assert(sizeof(PackedTuple) <= 16);
+
+}  // namespace
+
+std::size_t encode_batch(std::vector<std::byte>& out, Direction dir, NodeId node,
+                         NodeId peer, TimeNs ts, std::span<const Packet> batch,
+                         bool full_flow) {
+  const std::size_t before = out.size();
+  put<std::uint8_t>(out, dir == Direction::kRx ? 0 : 1);
+  put<std::uint32_t>(out, node);
+  if (dir == Direction::kTx) put<std::uint32_t>(out, peer);
+  put<std::int64_t>(out, ts);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(batch.size()));
+  for (const Packet& p : batch) put<std::uint16_t>(out, p.ipid);
+  if (full_flow && dir == Direction::kTx) {
+    for (const Packet& p : batch) {
+      PackedTuple t{p.flow.src_ip, p.flow.dst_ip, p.flow.src_port,
+                    p.flow.dst_port, p.flow.proto};
+      const auto* b = reinterpret_cast<const std::byte*>(&t);
+      out.insert(out.end(), b, b + 13);  // 13 significant bytes
+    }
+  }
+  return out.size() - before;
+}
+
+void WireDecoder::feed(std::span<const std::byte> bytes) {
+  pending_.insert(pending_.end(), bytes.begin(), bytes.end());
+  while (try_decode_one()) {
+  }
+}
+
+bool WireDecoder::try_decode_one() {
+  // Minimum header: kind(1) + node(4) + ts(8) + count(2).
+  if (pending_.size() < 15) return false;
+  const std::byte* p = pending_.data();
+  const std::uint8_t kind = get<std::uint8_t>(p);
+  std::size_t off = 1;
+  const auto node = get<std::uint32_t>(p + off);
+  off += 4;
+  NodeId peer = kInvalidNode;
+  if (kind == 1) {
+    if (pending_.size() < off + 4 + 8 + 2) return false;
+    peer = get<std::uint32_t>(p + off);
+    off += 4;
+  }
+  const auto ts = get<std::int64_t>(p + off);
+  off += 8;
+  const auto count = get<std::uint16_t>(p + off);
+  off += 2;
+
+  const bool full = sink_->has_node(node) && sink_->node(node).full_flow;
+  std::size_t need = off + 2ull * count;
+  if (full && kind == 1) need += 13ull * count;
+  if (pending_.size() < need) return false;
+
+  // Materialize packets and hand them to the collector through its normal
+  // API so downstream consumers see one canonical representation.
+  std::vector<Packet> pkts(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    pkts[i].ipid = get<std::uint16_t>(p + off);
+    off += 2;
+  }
+  if (full && kind == 1) {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      FiveTuple ft;
+      ft.src_ip = get<std::uint32_t>(p + off);
+      ft.dst_ip = get<std::uint32_t>(p + off + 4);
+      ft.src_port = get<std::uint16_t>(p + off + 8);
+      ft.dst_port = get<std::uint16_t>(p + off + 10);
+      ft.proto = get<std::uint8_t>(p + off + 12);
+      pkts[i].flow = ft;
+      off += 13;
+    }
+  }
+  if (kind == 0) {
+    sink_->on_rx(node, ts, pkts);
+  } else {
+    sink_->on_tx(node, peer, ts, pkts);
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(need));
+  decoded_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+}  // namespace microscope::collector

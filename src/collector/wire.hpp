@@ -1,0 +1,60 @@
+// Compact wire format for collector records.
+//
+// This is the byte stream the runtime side pushes into the shared-memory
+// ring and the standalone dumper decodes (or persists). Layout per record:
+//
+//   u8  kind        (0 = rx batch, 1 = tx batch)
+//   u32 node
+//   u32 peer        (tx only)
+//   i64 ts
+//   u16 count
+//   u16 ipid[count]
+//   five-tuple[count]  (13 B each; only when the node records full flows)
+//
+// Ground-truth sidecar data is intentionally NOT part of the wire format —
+// a real deployment doesn't have it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "common/packet.hpp"
+
+namespace microscope::collector {
+
+/// Append one batch record to `out`. Returns bytes appended.
+std::size_t encode_batch(std::vector<std::byte>& out, Direction dir, NodeId node,
+                         NodeId peer, TimeNs ts, std::span<const Packet> batch,
+                         bool full_flow);
+
+/// Incremental decoder: feed bytes, emits decoded batches into a Collector.
+/// Handles records split across feed() calls (as happens with a ring).
+class WireDecoder {
+ public:
+  explicit WireDecoder(Collector& sink) : sink_(&sink) {}
+
+  /// Consume `bytes`; any trailing partial record is buffered.
+  void feed(std::span<const std::byte> bytes);
+
+  /// Number of complete batch records decoded so far (readable from other
+  /// threads; RingCollector::flush polls it).
+  std::uint64_t decoded_batches() const {
+    return decoded_.load(std::memory_order_acquire);
+  }
+
+  /// True if no partial record is pending.
+  bool drained() const { return pending_.empty(); }
+
+ private:
+  bool try_decode_one();
+
+  Collector* sink_;
+  std::vector<std::byte> pending_;
+  std::atomic<std::uint64_t> decoded_{0};
+};
+
+}  // namespace microscope::collector

@@ -1,0 +1,57 @@
+#include "common/flow.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace microscope {
+
+std::uint64_t flow_hash(const FiveTuple& ft) noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(ft.src_ip) << 32) | ft.dst_ip;
+  std::uint64_t y = (static_cast<std::uint64_t>(ft.src_port) << 24) |
+                    (static_cast<std::uint64_t>(ft.dst_port) << 8) | ft.proto;
+  x ^= y + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  // SplitMix64 finalizer.
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+std::string format_ipv4(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+std::uint32_t parse_ipv4(const std::string& s) {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= s.size()) throw std::invalid_argument("bad IPv4: " + s);
+    std::size_t next = 0;
+    const unsigned long v = std::stoul(s.substr(pos), &next, 10);
+    if (v > 255 || next == 0) throw std::invalid_argument("bad IPv4: " + s);
+    parts[i] = static_cast<std::uint32_t>(v);
+    pos += next;
+    if (i < 3) {
+      if (pos >= s.size() || s[pos] != '.')
+        throw std::invalid_argument("bad IPv4: " + s);
+      ++pos;
+    }
+  }
+  if (pos != s.size()) throw std::invalid_argument("bad IPv4: " + s);
+  return make_ipv4(parts[0], parts[1], parts[2], parts[3]);
+}
+
+std::string format_five_tuple(const FiveTuple& ft) {
+  std::ostringstream os;
+  os << format_ipv4(ft.src_ip) << ':' << ft.src_port << " > "
+     << format_ipv4(ft.dst_ip) << ':' << ft.dst_port << " proto "
+     << static_cast<int>(ft.proto);
+  return os.str();
+}
+
+}  // namespace microscope

@@ -1,0 +1,54 @@
+// Five-tuple flow identity and packet identifiers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace microscope {
+
+/// IP protocol numbers used throughout the evaluation.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kIcmp = 1,
+};
+
+/// The classic five-tuple. IPs are host-order IPv4 addresses.
+struct FiveTuple {
+  std::uint32_t src_ip{0};
+  std::uint32_t dst_ip{0};
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint8_t proto{static_cast<std::uint8_t>(IpProto::kTcp)};
+
+  friend auto operator<=>(const FiveTuple&, const FiveTuple&) = default;
+};
+
+/// 64-bit mix hash (SplitMix64 finalizer) — stable across platforms so that
+/// flow→NF load balancing is reproducible.
+std::uint64_t flow_hash(const FiveTuple& ft) noexcept;
+
+/// Render "a.b.c.d" from a host-order IPv4 address.
+std::string format_ipv4(std::uint32_t ip);
+
+/// Parse "a.b.c.d" into a host-order IPv4 address. Throws std::invalid_argument.
+std::uint32_t parse_ipv4(const std::string& s);
+
+/// Render "src:sport > dst:dport proto".
+std::string format_five_tuple(const FiveTuple& ft);
+
+/// Build a host-order IPv4 address from dotted components.
+constexpr std::uint32_t make_ipv4(std::uint32_t a, std::uint32_t b,
+                                  std::uint32_t c, std::uint32_t d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+struct FiveTupleHash {
+  std::size_t operator()(const FiveTuple& ft) const noexcept {
+    return static_cast<std::size_t>(flow_hash(ft));
+  }
+};
+
+}  // namespace microscope

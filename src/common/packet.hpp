@@ -1,0 +1,36 @@
+// Packet model.
+//
+// The simulator moves Packet values between NF queues. `uid` is a hidden
+// ground-truth identity used ONLY by tests and the evaluation oracle —
+// Microscope's diagnosis pipeline never reads it; it identifies packets by
+// (five-tuple, IPID) exactly as the paper's collector does.
+#pragma once
+
+#include <cstdint>
+
+#include "common/flow.hpp"
+#include "common/time.hpp"
+
+namespace microscope {
+
+/// Identifier for an NF instance or traffic source node in the topology.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct Packet {
+  /// Ground-truth unique id (never used by diagnosis).
+  std::uint64_t uid{0};
+  /// Five-tuple carried in the header.
+  FiveTuple flow{};
+  /// 16-bit IP identification field; the collector's per-packet key.
+  std::uint16_t ipid{0};
+  /// Wire size in bytes (evaluation uses 64-byte packets).
+  std::uint16_t size_bytes{64};
+  /// Time the packet left the traffic source.
+  TimeNs source_time{0};
+  /// Ground-truth: injection id of the fault that created this packet
+  /// (burst/bug-trigger flows), 0 for organic traffic. Oracle-only.
+  std::uint32_t injection_tag{0};
+};
+
+}  // namespace microscope

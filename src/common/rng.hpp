@@ -1,0 +1,66 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All stochastic behaviour in the simulator (traffic, jitter, fault
+// schedules) derives from a seeded Rng so that every figure/table is
+// regenerated bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace microscope {
+
+/// xoshiro256** — fast, high-quality, seedable PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Split off an independent child stream (for per-component determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Sampler for a Zipf(s) distribution over {0, ..., n-1}.
+///
+/// Used for CAIDA-like flow popularity: a few flows carry most packets.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace microscope

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace microscope {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+WindowedStats::WindowedStats(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("WindowedStats: capacity 0");
+  buf_.reserve(capacity);
+}
+
+void WindowedStats::add(double x) {
+  if (buf_.size() < capacity_) {
+    buf_.push_back(x);
+  } else {
+    const double old = buf_[head_];
+    sum_ -= old;
+    sumsq_ -= old * old;
+    buf_[head_] = x;
+    head_ = (head_ + 1) % capacity_;
+  }
+  sum_ += x;
+  sumsq_ += x * x;
+}
+
+double WindowedStats::mean() const {
+  return buf_.empty() ? 0.0 : sum_ / static_cast<double>(buf_.size());
+}
+
+double WindowedStats::stddev() const {
+  if (buf_.size() < 2) return 0.0;
+  const double n = static_cast<double>(buf_.size());
+  const double var = std::max(0.0, (sumsq_ - sum_ * sum_ / n) / (n - 1));
+  return std::sqrt(var);
+}
+
+bool WindowedStats::is_abnormal(double x, double k) const {
+  if (buf_.size() < 2) return false;
+  return std::abs(x - mean()) > k * stddev();
+}
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (pct < 0.0 || pct > 100.0)
+    throw std::invalid_argument("percentile out of [0,100]");
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::vector<CdfPoint> make_cdf(std::vector<double> values,
+                               std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.push_back({values[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (out.back().cum_fraction < 1.0) out.push_back({values.back(), 1.0});
+  return out;
+}
+
+}  // namespace microscope

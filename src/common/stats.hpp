@@ -1,0 +1,62 @@
+// Small statistics helpers: running mean/stddev, percentiles, CDF series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace microscope {
+
+/// Welford running mean/variance. Used for the paper's abnormality test
+/// ("beyond one standard deviation computed over recent history", §4.1).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+};
+
+/// Sliding-window variant with a bounded history length.
+class WindowedStats {
+ public:
+  explicit WindowedStats(std::size_t capacity);
+
+  void add(double x);
+  std::size_t count() const { return buf_.size(); }
+  double mean() const;
+  double stddev() const;
+
+  /// True if x deviates from the window mean by more than k·stddev.
+  bool is_abnormal(double x, double k = 1.0) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_{0};
+  std::vector<double> buf_;
+  double sum_{0.0};
+  double sumsq_{0.0};
+};
+
+/// Percentile of a sample (nearest-rank on a copy; does not mutate input).
+double percentile(std::vector<double> values, double pct);
+
+/// One (x, y) point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cum_fraction;
+};
+
+/// Build an empirical CDF reduced to at most `max_points` points.
+std::vector<CdfPoint> make_cdf(std::vector<double> values,
+                               std::size_t max_points = 200);
+
+}  // namespace microscope

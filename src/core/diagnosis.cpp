@@ -1,0 +1,284 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace microscope::core {
+
+using trace::Journey;
+using trace::kNoJourney;
+using trace::NodeTimeline;
+
+Diagnoser::Diagnoser(const trace::ReconstructedTrace& rt,
+                     std::vector<RatePerNs> peak_rates, DiagnoserOptions opts)
+    : rt_(&rt), peak_rates_(std::move(peak_rates)), opts_(opts) {
+  if (peak_rates_.size() < rt.graph().node_count())
+    peak_rates_.resize(rt.graph().node_count());
+}
+
+Diagnosis Diagnoser::diagnose(const Victim& v) const {
+  Diagnosis d;
+  d.victim = v;
+  const NodeId f = v.node;
+  if (!rt_->has_timeline(f)) return d;
+  const auto period = find_queuing_period(rt_->timeline(f), v.time, opts_.period);
+  if (!period) return d;
+
+  const LocalScores ls = local_scores(rt_->timeline(f), *period, peak_rates_[f]);
+  if (ls.s_p > opts_.min_score) emit_local(f, *period, ls.s_p, 0, d);
+  if (ls.s_i > opts_.min_score)
+    propagate(f, *period, ls.s_i, 0, v.journey, d);
+  return d;
+}
+
+namespace {
+
+/// Per-path PreSet subset: identical node sequences share a group.
+struct PathGroup {
+  std::vector<std::uint32_t> jids;
+};
+
+/// The node sequence a journey takes before reaching `f` (source first).
+/// Empty when the journey is incomplete or does not visit f.
+std::vector<NodeId> path_before(const Journey& j, NodeId f) {
+  std::vector<NodeId> path;
+  if (!j.complete()) return path;
+  path.push_back(j.source);
+  for (const trace::Hop& h : j.hops) {
+    if (h.node == f) return path;
+    path.push_back(h.node);
+  }
+  return {};  // never reached f (alignment noise); skip
+}
+
+}  // namespace
+
+void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
+                          double base_score, int depth,
+                          std::uint32_t victim_journey, Diagnosis& out) const {
+  const NodeTimeline& tl = rt_->timeline(f);
+
+  // ---- Collect PreSet(p), grouped by upstream path. ----
+  std::map<std::vector<NodeId>, PathGroup> groups;
+  std::size_t n_grouped = 0;
+  for (std::size_t i = period.first_arrival; i < period.last_arrival; ++i) {
+    const trace::Arrival& a = tl.arrivals[i];
+    if (a.journey == kNoJourney || a.journey == victim_journey) continue;
+    const Journey& j = rt_->journey(a.journey);
+    std::vector<NodeId> path = path_before(j, f);
+    if (path.empty()) continue;
+    groups[std::move(path)].jids.push_back(a.journey);
+    ++n_grouped;
+  }
+  if (n_grouped == 0) return;
+
+  // T_exp is shared by every path (paper §4.2, DAG case).
+  const double r_f = peak_rates_[f].pkts_per_ns;
+  if (r_f <= 0.0) return;
+  const double t_exp = static_cast<double>(period.arrival_count()) / r_f;
+
+  // ---- Per-path timespan attribution. ----
+  struct SourceAccum {
+    double score{0.0};
+    TimeNs t0{kTimeNever};
+    TimeNs t1{0};
+    std::vector<std::uint32_t> jids;
+  };
+  std::unordered_map<NodeId, double> nf_scores;
+  std::unordered_map<NodeId, SourceAccum> source_scores;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> nf_jids;
+
+  for (auto& [path, group] : groups) {
+    const double share =
+        base_score * static_cast<double>(group.jids.size()) /
+        static_cast<double>(n_grouped);
+
+    // Timespans: index 0 is the source (emit times), then each upstream NF
+    // (depart times of the subset).
+    std::vector<PathHopSpan> spans(path.size());
+    std::vector<TimeNs> lo(path.size(), kTimeNever), hi(path.size(), 0);
+    for (const std::uint32_t jid : group.jids) {
+      const Journey& j = rt_->journey(jid);
+      lo[0] = std::min(lo[0], j.source_time);
+      hi[0] = std::max(hi[0], j.source_time);
+      for (std::size_t k = 1; k < path.size(); ++k) {
+        const trace::Hop& h = j.hops[k - 1];
+        lo[k] = std::min(lo[k], h.depart);
+        hi[k] = std::max(hi[k], h.depart);
+      }
+    }
+    for (std::size_t k = 0; k < path.size(); ++k) {
+      spans[k].node = path[k];
+      spans[k].timespan = static_cast<double>(hi[k] - lo[k]);
+    }
+
+    for (const HopScore& hs : attribute_timespan(spans, t_exp, share)) {
+      if (hs.score <= 0.0) continue;
+      if (rt_->graph().is_source(hs.node)) {
+        SourceAccum& acc = source_scores[hs.node];
+        acc.score += hs.score;
+        acc.t0 = std::min(acc.t0, lo[0]);
+        acc.t1 = std::max(acc.t1, hi[0]);
+        acc.jids.insert(acc.jids.end(), group.jids.begin(), group.jids.end());
+      } else {
+        nf_scores[hs.node] += hs.score;
+        auto& js = nf_jids[hs.node];
+        js.insert(js.end(), group.jids.begin(), group.jids.end());
+      }
+    }
+  }
+
+  // ---- Emit source culprits. ----
+  for (auto& [src, acc] : source_scores) {
+    if (acc.score < opts_.min_score) continue;
+    emit_source(src, acc.score, depth, acc.t0, acc.t1, acc.jids, out);
+  }
+
+  // ---- Recurse into NF culprits (§4.3). ----
+  for (auto& [u, score] : nf_scores) {
+    if (score < opts_.min_score) continue;
+
+    // First arrival of the PreSet subset at u.
+    TimeNs t_first_u = kTimeNever;
+    TimeNs t_last_u = 0;
+    for (const std::uint32_t jid : nf_jids[u]) {
+      const Journey& j = rt_->journey(jid);
+      for (const trace::Hop& h : j.hops) {
+        if (h.node == u) {
+          t_first_u = std::min(t_first_u, h.arrival);
+          t_last_u = std::max(t_last_u, h.arrival);
+          break;
+        }
+      }
+    }
+    if (t_first_u == kTimeNever) continue;
+
+    // §4.3: diagnose the queuing period "after the arrival of the first
+    // packet of PreSet(p)" at u — the period anchored before the first
+    // PreSet arrival but extending through the subset's transit (ending at
+    // its last arrival). Anchoring the end at the *first* arrival would
+    // often yield a degenerate zero-length period.
+    const auto period_u =
+        rt_->has_timeline(u)
+            ? find_queuing_period(rt_->timeline(u),
+                                  std::max(t_last_u, t_first_u), opts_.period)
+            : std::nullopt;
+    if (!period_u || depth + 1 >= opts_.max_depth) {
+      // Cannot look further: attribute everything to u's local behaviour
+      // over the interval the PreSet spent there.
+      CausalRelation rel;
+      rel.culprit = {u, CauseKind::kLocalProcessing};
+      rel.score = score;
+      rel.culprit_t0 = t_first_u;
+      rel.culprit_t1 = std::max(t_last_u, t_first_u);
+      rel.depth = depth + 1;
+      // Culprit flows: the PreSet packets that traversed u.
+      std::unordered_map<std::uint64_t, std::pair<FiveTuple, double>> counts;
+      for (const std::uint32_t jid : nf_jids[u]) {
+        const Journey& j = rt_->journey(jid);
+        auto& e = counts[flow_hash(j.flow)];
+        e.first = j.flow;
+        e.second += 1.0;
+      }
+      for (auto& [h, fc] : counts)
+        rel.flows.push_back(
+            {fc.first, score * fc.second /
+                           static_cast<double>(nf_jids[u].size())});
+      std::sort(rel.flows.begin(), rel.flows.end(),
+                [](const FlowWeight& a, const FlowWeight& b) {
+                  return a.weight > b.weight;
+                });
+      if (rel.flows.size() > opts_.max_flows_per_relation)
+        rel.flows.resize(opts_.max_flows_per_relation);
+      out.relations.push_back(std::move(rel));
+      continue;
+    }
+
+    const LocalScores sub =
+        local_scores(rt_->timeline(u), *period_u, peak_rates_[u]);
+    const double denom = sub.s_i + sub.s_p;
+    if (denom <= 0.0) {
+      emit_local(u, *period_u, score, depth + 1, out);
+      continue;
+    }
+    const double local_part = score * (sub.s_p / denom);
+    const double input_part = score * (sub.s_i / denom);
+    if (local_part > opts_.min_score)
+      emit_local(u, *period_u, local_part, depth + 1, out);
+    if (input_part > opts_.min_score)
+      propagate(u, *period_u, input_part, depth + 1, victim_journey, out);
+  }
+}
+
+void Diagnoser::emit_local(NodeId node, const QueuingPeriod& period,
+                           double score, int depth, Diagnosis& out) const {
+  CausalRelation rel;
+  rel.culprit = {node, CauseKind::kLocalProcessing};
+  rel.score = score;
+  rel.culprit_t0 = period.start;
+  rel.culprit_t1 = period.end;
+  rel.depth = depth;
+  rel.flows = period_flows(node, period, score);
+  out.relations.push_back(std::move(rel));
+}
+
+void Diagnoser::emit_source(NodeId source, double score, int depth, TimeNs t0,
+                            TimeNs t1,
+                            const std::vector<std::uint32_t>& journeys,
+                            Diagnosis& out) const {
+  CausalRelation rel;
+  rel.culprit = {source, CauseKind::kSourceTraffic};
+  rel.score = score;
+  rel.culprit_t0 = t0;
+  rel.culprit_t1 = t1;
+  rel.depth = depth;
+  std::unordered_map<std::uint64_t, std::pair<FiveTuple, double>> counts;
+  for (const std::uint32_t jid : journeys) {
+    const Journey& j = rt_->journey(jid);
+    auto& e = counts[flow_hash(j.flow)];
+    e.first = j.flow;
+    e.second += 1.0;
+  }
+  for (auto& [h, fc] : counts)
+    rel.flows.push_back(
+        {fc.first, score * fc.second / static_cast<double>(journeys.size())});
+  std::sort(rel.flows.begin(), rel.flows.end(),
+            [](const FlowWeight& a, const FlowWeight& b) {
+              return a.weight > b.weight;
+            });
+  if (rel.flows.size() > opts_.max_flows_per_relation)
+    rel.flows.resize(opts_.max_flows_per_relation);
+  out.relations.push_back(std::move(rel));
+}
+
+std::vector<FlowWeight> Diagnoser::period_flows(NodeId node,
+                                                const QueuingPeriod& period,
+                                                double score) const {
+  std::vector<FlowWeight> out;
+  const NodeTimeline& tl = rt_->timeline(node);
+  std::unordered_map<std::uint64_t, std::pair<FiveTuple, double>> counts;
+  double total = 0.0;
+  for (std::size_t i = period.first_arrival; i < period.last_arrival; ++i) {
+    const trace::Arrival& a = tl.arrivals[i];
+    if (a.journey == kNoJourney) continue;
+    const Journey& j = rt_->journey(a.journey);
+    auto& e = counts[flow_hash(j.flow)];
+    e.first = j.flow;
+    e.second += 1.0;
+    total += 1.0;
+  }
+  if (total == 0.0) return out;
+  for (auto& [h, fc] : counts)
+    out.push_back({fc.first, score * fc.second / total});
+  std::sort(out.begin(), out.end(),
+            [](const FlowWeight& a, const FlowWeight& b) {
+              return a.weight > b.weight;
+            });
+  if (out.size() > opts_.max_flows_per_relation)
+    out.resize(opts_.max_flows_per_relation);
+  return out;
+}
+
+}  // namespace microscope::core

@@ -1,0 +1,103 @@
+#include "core/period.hpp"
+
+#include <algorithm>
+
+namespace microscope::core {
+namespace {
+
+using trace::NodeTimeline;
+
+/// Latest read batch with ts <= t that proves an empty queue (short batch).
+/// Returns the batch timestamp, or nullopt when none exists.
+std::optional<TimeNs> last_empty_proof(const NodeTimeline& tl, TimeNs t,
+                                       TimeNs not_before) {
+  const auto& reads = tl.reads;
+  auto it = std::upper_bound(
+      reads.begin(), reads.end(), t,
+      [](TimeNs x, const NodeTimeline::Read& r) { return x < r.ts; });
+  while (it != reads.begin()) {
+    --it;
+    if (it->ts < not_before) break;
+    if (it->short_batch) return it->ts;
+  }
+  return std::nullopt;
+}
+
+/// Threshold variant (§7): walk forward from an empty anchor tracking the
+/// inferred queue length; return the last time qlen <= threshold before t_p.
+std::optional<TimeNs> last_below_threshold(const NodeTimeline& tl, TimeNs t_p,
+                                           std::uint32_t threshold,
+                                           TimeNs anchor) {
+  std::size_t ai = tl.first_arrival_after(anchor);
+  // Read batches after the anchor.
+  auto rit = std::upper_bound(
+      tl.reads.begin(), tl.reads.end(), anchor,
+      [](TimeNs x, const NodeTimeline::Read& r) { return x < r.ts; });
+  std::int64_t qlen = 0;
+  TimeNs last_ok = anchor;
+  while (true) {
+    const TimeNs ta =
+        ai < tl.arrivals.size() ? tl.arrivals[ai].t : kTimeNever;
+    const TimeNs tr = rit != tl.reads.end() ? rit->ts : kTimeNever;
+    const TimeNs next = std::min(ta, tr);
+    if (next > t_p || next == kTimeNever) break;
+    if (ta <= tr) {
+      ++qlen;
+      ++ai;
+    } else {
+      qlen = std::max<std::int64_t>(0, qlen - rit->count);
+      ++rit;
+    }
+    if (qlen <= threshold) last_ok = next;
+  }
+  return last_ok;
+}
+
+}  // namespace
+
+std::optional<QueuingPeriod> find_queuing_period(
+    const trace::NodeTimeline& tl, TimeNs t_p,
+    const QueuingPeriodOptions& opts) {
+  const TimeNs lookback_floor = t_p - opts.max_lookback;
+
+  TimeNs anchor = lookback_floor;  // queue state unknown before this
+  if (const auto proof = last_empty_proof(tl, t_p, lookback_floor)) {
+    anchor = *proof;
+  }
+  if (opts.queue_threshold > 0) {
+    if (const auto t = last_below_threshold(tl, t_p, opts.queue_threshold,
+                                            std::max(anchor, lookback_floor))) {
+      anchor = *t;
+    }
+  }
+
+  QueuingPeriod period;
+  period.first_arrival = tl.first_arrival_after(anchor);
+  if (period.first_arrival >= tl.arrivals.size()) return std::nullopt;
+  const TimeNs start = tl.arrivals[period.first_arrival].t;
+  if (start > t_p) return std::nullopt;  // queue empty when p arrived
+
+  period.start = start;
+  period.end = t_p;
+  period.last_arrival = tl.first_arrival_after(t_p);
+  if (period.last_arrival <= period.first_arrival) return std::nullopt;
+  return period;
+}
+
+LocalScores local_scores(const trace::NodeTimeline& tl,
+                         const QueuingPeriod& period, RatePerNs r) {
+  LocalScores s;
+  s.n_i = static_cast<double>(period.arrival_count());
+  s.n_p = static_cast<double>(tl.reads_in(period.start, period.end));
+  s.expected = r.packets_in(period.length());
+  if (s.n_i > s.expected) {
+    s.s_i = s.n_i - s.expected;             // eq (1), first case
+    s.s_p = std::max(0.0, s.expected - s.n_p);  // eq (2), first case
+  } else {
+    s.s_i = 0.0;                            // eq (1), second case
+    s.s_p = std::max(0.0, s.n_i - s.n_p);   // eq (2), second case
+  }
+  return s;
+}
+
+}  // namespace microscope::core

@@ -1,0 +1,74 @@
+#include "core/relation.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace microscope::core {
+
+std::string to_string(CauseKind k) {
+  switch (k) {
+    case CauseKind::kSourceTraffic:
+      return "source-traffic";
+    case CauseKind::kLocalProcessing:
+      return "local-processing";
+  }
+  return "?";
+}
+
+std::vector<RankedCause> rank_causes(const Diagnosis& d) {
+  std::map<Culprit, RankedCause> grouped;
+  for (const CausalRelation& r : d.relations) {
+    auto [it, inserted] = grouped.try_emplace(r.culprit);
+    RankedCause& rc = it->second;
+    if (inserted) {
+      rc.culprit = r.culprit;
+      rc.t0 = r.culprit_t0;
+      rc.t1 = r.culprit_t1;
+      rc.min_depth = r.depth;
+    } else {
+      rc.t0 = std::min(rc.t0, r.culprit_t0);
+      rc.t1 = std::max(rc.t1, r.culprit_t1);
+      rc.min_depth = std::min(rc.min_depth, r.depth);
+    }
+    rc.score += r.score;
+    rc.flows.insert(rc.flows.end(), r.flows.begin(), r.flows.end());
+  }
+
+  std::vector<RankedCause> out;
+  out.reserve(grouped.size());
+  for (auto& [culprit, rc] : grouped) {
+    // Merge duplicate flows, keep descending weight.
+    std::sort(rc.flows.begin(), rc.flows.end(),
+              [](const FlowWeight& a, const FlowWeight& b) {
+                return a.flow < b.flow;
+              });
+    std::vector<FlowWeight> merged;
+    for (const FlowWeight& fw : rc.flows) {
+      if (!merged.empty() && merged.back().flow == fw.flow) {
+        merged.back().weight += fw.weight;
+      } else {
+        merged.push_back(fw);
+      }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const FlowWeight& a, const FlowWeight& b) {
+                return a.weight > b.weight;
+              });
+    rc.flows = std::move(merged);
+    out.push_back(std::move(rc));
+  }
+  std::sort(out.begin(), out.end(), [](const RankedCause& a,
+                                       const RankedCause& b) {
+    return a.score > b.score;
+  });
+  return out;
+}
+
+int rank_of(const std::vector<RankedCause>& ranked, const Culprit& culprit) {
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].culprit == culprit) return static_cast<int>(i + 1);
+  }
+  return 0;
+}
+
+}  // namespace microscope::core

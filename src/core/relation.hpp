@@ -1,0 +1,97 @@
+// Causal relations and victims — the diagnosis output vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flow.hpp"
+#include "common/packet.hpp"
+#include "common/time.hpp"
+
+namespace microscope::core {
+
+/// What kind of behaviour at the culprit node caused the impact.
+enum class CauseKind : std::uint8_t {
+  /// Excess/bursty traffic emitted by a source.
+  kSourceTraffic,
+  /// Slow local processing at an NF (interrupt, bug, contention, ...).
+  kLocalProcessing,
+};
+
+std::string to_string(CauseKind k);
+
+/// Identity of a root cause: a node plus the kind of behaviour.
+struct Culprit {
+  NodeId node{kInvalidNode};
+  CauseKind kind{CauseKind::kLocalProcessing};
+
+  friend auto operator<=>(const Culprit&, const Culprit&) = default;
+};
+
+/// A culprit flow with its weight within the relation (fraction of the
+/// culprit packets belonging to this flow, scaled by the relation score).
+struct FlowWeight {
+  FiveTuple flow{};
+  double weight{0.0};
+};
+
+/// Victim of a performance problem: one packet at one NF.
+struct Victim {
+  enum class Kind : std::uint8_t {
+    kHighLatency,
+    kDropped,
+    kLowThroughput,
+    /// §7: long delay *inside* the NF (between read and write), i.e. an NF
+    /// misbehaving rather than a long queue. Not diagnosed through queues;
+    /// reported directly against the NF.
+    kInNfDelay,
+  };
+
+  std::uint32_t journey{0};
+  NodeId node{kInvalidNode};  // NF where the problem is observed
+  TimeNs time{0};             // the packet's arrival at that NF
+  Kind kind{Kind::kHighLatency};
+  DurationNs hop_latency{0};
+  DurationNs e2e_latency{0};
+  FiveTuple flow{};
+};
+
+/// <culprit packets, culprit NF> -> <victim packet, victim NF> : score.
+struct CausalRelation {
+  Culprit culprit{};
+  double score{0.0};
+  /// The culprit behaviour's interval (the queuing period at the culprit,
+  /// or the burst interval at a source).
+  TimeNs culprit_t0{0};
+  TimeNs culprit_t1{0};
+  /// Culprit packets aggregated per flow (top flows by weight).
+  std::vector<FlowWeight> flows;
+  /// Recursion depth at which this relation was emitted (0 = at the victim
+  /// NF itself); the number of propagation hops to the victim.
+  int depth{0};
+};
+
+/// Full diagnosis of one victim.
+struct Diagnosis {
+  Victim victim{};
+  std::vector<CausalRelation> relations;
+};
+
+/// A culprit with its total score across a diagnosis, for ranking.
+struct RankedCause {
+  Culprit culprit{};
+  double score{0.0};
+  TimeNs t0{0};
+  TimeNs t1{0};
+  std::vector<FlowWeight> flows;
+  int min_depth{0};
+};
+
+/// Group a diagnosis's relations by culprit and sort by descending score.
+std::vector<RankedCause> rank_causes(const Diagnosis& d);
+
+/// 1-based rank of `culprit` in the ranked list; 0 if absent.
+int rank_of(const std::vector<RankedCause>& ranked, const Culprit& culprit);
+
+}  // namespace microscope::core

@@ -1,0 +1,65 @@
+#include "core/timespan.hpp"
+
+#include <algorithm>
+
+namespace microscope::core {
+
+std::vector<HopScore> attribute_timespan(const std::vector<PathHopSpan>& spans,
+                                         double t_exp, double base_score) {
+  std::vector<HopScore> out;
+  out.reserve(spans.size());
+  for (const PathHopSpan& s : spans) out.push_back({s.node, 0.0});
+  if (spans.empty() || base_score <= 0.0) return out;
+
+  // Walk source -> last hop keeping the effective reductions on a stack;
+  // an increase at a hop cancels the most recent upstream reductions.
+  struct Pending {
+    std::size_t idx;
+    double reduction;
+  };
+  std::vector<Pending> stack;
+  double prev = t_exp;
+  double debt = 0.0;  // growth not yet absorbed by earlier reductions
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const double cur = spans[i].timespan;
+    double delta = prev - cur;
+    if (delta > 0.0) {
+      // A reduction first pays off outstanding growth: compression that
+      // merely undoes an earlier stretch is invisible from f's viewpoint.
+      const double pay = std::min(debt, delta);
+      debt -= pay;
+      delta -= pay;
+      if (delta > 0.0) stack.push_back({i, delta});
+    } else {
+      // Timespan grew: cancel |delta| from the latest reductions; whatever
+      // cannot be cancelled becomes debt for downstream reductions.
+      double grow = -delta;
+      while (grow > 0.0 && !stack.empty()) {
+        Pending& top = stack.back();
+        const double cancel = std::min(top.reduction, grow);
+        top.reduction -= cancel;
+        grow -= cancel;
+        if (top.reduction <= 0.0) stack.pop_back();
+      }
+      debt += grow;
+    }
+    prev = cur;
+  }
+  // Invariant: the surviving reductions sum to max(0, t_exp - T_last).
+
+  double total = 0.0;
+  for (const Pending& p : stack) total += p.reduction;
+  if (total <= 0.0) {
+    // No visible compression anywhere on this path: these packets arrived
+    // smoothly and merely added volume. They are not the *burst* that hurt
+    // the victim, so nobody on this path is charged (charging the source
+    // here would drown real culprits on sibling paths whenever innocent
+    // traffic shares the victim's queue).
+    return out;
+  }
+  for (const Pending& p : stack)
+    out[p.idx].score = base_score * (p.reduction / total);
+  return out;
+}
+
+}  // namespace microscope::core

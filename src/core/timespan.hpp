@@ -1,0 +1,37 @@
+// Timespan attribution for propagation diagnosis (paper §4.2).
+//
+// For the PreSet packets traversing one path source -> A -> B -> ... -> f,
+// the timespan at each hop is the interval between the first and last
+// PreSet packet leaving that hop. The reduction from the expected timespan
+// T_exp = n_i / r_f down to the last hop's timespan is what turned the
+// packets into a burst at f; it is attributed to the hops that caused it.
+//
+// A hop that *increases* the timespan gets score zero, and the increase
+// cancels the most recent upstream reductions (the paper's T_source - T_B
+// example): only reductions still visible from f's perspective count.
+#pragma once
+
+#include <vector>
+
+#include "common/packet.hpp"
+
+namespace microscope::core {
+
+struct PathHopSpan {
+  NodeId node{kInvalidNode};
+  double timespan{0.0};  // ns
+};
+
+struct HopScore {
+  NodeId node{kInvalidNode};
+  double score{0.0};
+};
+
+/// Split `base_score` across the hops of one path (spans[0] must be the
+/// traffic source, followed by upstream NFs in path order; the victim NF
+/// itself is not included). Scores sum to `base_score` (all of it goes to
+/// the source when no net compression is visible).
+std::vector<HopScore> attribute_timespan(const std::vector<PathHopSpan>& spans,
+                                         double t_exp, double base_score);
+
+}  // namespace microscope::core

@@ -1,0 +1,177 @@
+// Victim selection (paper §4, §5: latency above a threshold/percentile,
+// throughput below a threshold, or packet loss).
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "core/diagnosis.hpp"
+
+namespace microscope::core {
+
+using trace::Fate;
+using trace::Journey;
+
+namespace {
+
+/// Per-NF hop latency statistics over all delivered packets — the "recent
+/// history" the abnormality test compares against.
+std::vector<RunningStats> hop_stats(const trace::ReconstructedTrace& rt) {
+  std::vector<RunningStats> stats(rt.graph().node_count());
+  for (const Journey& j : rt.journeys()) {
+    if (j.fate != Fate::kDelivered) continue;
+    for (const trace::Hop& h : j.hops) {
+      if (h.depart == kTimeNever) continue;
+      stats[h.node].add(static_cast<double>(h.latency()));
+    }
+  }
+  return stats;
+}
+
+/// Anchor a latency victim at the hop whose local latency is most abnormal
+/// (beyond k sigma); falls back to the highest-latency hop.
+Victim victim_at_worst_hop(const trace::ReconstructedTrace& rt,
+                           std::uint32_t jid,
+                           const std::vector<RunningStats>& stats, double k) {
+  const Journey& j = rt.journey(jid);
+  Victim v;
+  v.journey = jid;
+  v.kind = Victim::Kind::kHighLatency;
+  v.flow = j.flow;
+  v.e2e_latency = j.e2e_latency();
+
+  // Among the hops whose local latency is abnormal (beyond k sigma of that
+  // NF's history, §4.1), anchor at the one with the largest absolute
+  // latency; fall back to the max-latency hop when none tests abnormal.
+  const trace::Hop* best = nullptr;
+  const trace::Hop* max_lat = nullptr;
+  for (const trace::Hop& h : j.hops) {
+    if (h.depart == kTimeNever) continue;
+    if (!max_lat || h.latency() > max_lat->latency()) max_lat = &h;
+    const RunningStats& s = stats[h.node];
+    if (s.count() < 2 || s.stddev() <= 0.0) continue;
+    const double sigma =
+        (static_cast<double>(h.latency()) - s.mean()) / s.stddev();
+    if (sigma > k && (!best || h.latency() > best->latency())) {
+      best = &h;
+    }
+  }
+  const trace::Hop* anchor = best ? best : max_lat;
+  if (anchor) {
+    v.node = anchor->node;
+    v.time = anchor->arrival;
+    v.hop_latency = anchor->latency();
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Victim> Diagnoser::latency_victims_by_percentile(double pct) const {
+  std::vector<double> lats;
+  for (const Journey& j : rt_->journeys())
+    if (j.fate == Fate::kDelivered)
+      lats.push_back(static_cast<double>(j.e2e_latency()));
+  if (lats.empty()) return {};
+  const double thr = percentile(lats, pct);
+  return latency_victims_by_threshold(static_cast<DurationNs>(thr));
+}
+
+std::vector<Victim> Diagnoser::latency_victims_by_threshold(
+    DurationNs threshold) const {
+  const auto stats = hop_stats(*rt_);
+  std::vector<Victim> out;
+  for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
+    const Journey& j = rt_->journey(jid);
+    if (j.fate != Fate::kDelivered) continue;
+    if (j.e2e_latency() < threshold) continue;
+    Victim v = victim_at_worst_hop(*rt_, jid, stats, opts_.abnormal_stddev_k);
+    if (v.node == kInvalidNode) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Victim> Diagnoser::drop_victims() const {
+  std::vector<Victim> out;
+  for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
+    const Journey& j = rt_->journey(jid);
+    if (j.fate != Fate::kDroppedQueue && j.fate != Fate::kDroppedPolicy)
+      continue;
+    if (j.hops.empty()) continue;
+    Victim v;
+    v.journey = jid;
+    v.kind = Victim::Kind::kDropped;
+    v.flow = j.flow;
+    v.node = j.end_node;
+    v.time = j.hops.back().arrival;
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Victim> Diagnoser::in_nf_delay_victims(DurationNs threshold) const {
+  std::vector<Victim> out;
+  for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
+    const Journey& j = rt_->journey(jid);
+    for (const trace::Hop& h : j.hops) {
+      if (h.depart == kTimeNever || h.read == kTimeNever) continue;
+      const DurationNs inside = h.depart - h.read;
+      if (inside < threshold) continue;
+      Victim v;
+      v.journey = jid;
+      v.kind = Victim::Kind::kInNfDelay;
+      v.flow = j.flow;
+      v.node = h.node;
+      v.time = h.arrival;
+      v.hop_latency = inside;
+      v.e2e_latency = j.e2e_latency();
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<Victim> Diagnoser::throughput_victims(const FiveTuple& flow,
+                                                  DurationNs window,
+                                                  double min_rate_pps) const {
+  // Bucket the flow's deliveries into fixed windows; packets inside
+  // under-rate windows become victims.
+  struct Entry {
+    std::uint32_t jid;
+    TimeNs done;
+  };
+  std::vector<Entry> pkts;
+  for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
+    const Journey& j = rt_->journey(jid);
+    if (j.fate != Fate::kDelivered || !(j.flow == flow)) continue;
+    pkts.push_back({jid, j.hops.back().depart});
+  }
+  if (pkts.empty()) return {};
+  std::sort(pkts.begin(), pkts.end(),
+            [](const Entry& a, const Entry& b) { return a.done < b.done; });
+
+  const auto stats = hop_stats(*rt_);
+  const double min_per_window =
+      min_rate_pps * to_sec(window);
+  std::vector<Victim> out;
+  std::size_t i = 0;
+  while (i < pkts.size()) {
+    const TimeNs w0 = pkts[i].done - pkts[i].done % window;
+    std::size_t jdx = i;
+    while (jdx < pkts.size() && pkts[jdx].done < w0 + window) ++jdx;
+    if (static_cast<double>(jdx - i) < min_per_window) {
+      for (std::size_t k = i; k < jdx; ++k) {
+        Victim v = victim_at_worst_hop(*rt_, pkts[k].jid, stats,
+                                       opts_.abnormal_stddev_k);
+        if (v.node == kInvalidNode) continue;
+        v.kind = Victim::Kind::kLowThroughput;
+        out.push_back(v);
+      }
+    }
+    i = jdx;
+  }
+  return out;
+}
+
+}  // namespace microscope::core

@@ -1,0 +1,173 @@
+#include "eval/experiment.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "trace/graph.hpp"
+
+namespace microscope::eval {
+
+using nf::FaultType;
+
+trace::ReconstructedTrace Experiment::reconstruct() const {
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = net.opts.prop_delay;
+  return trace::reconstruct(*collector, trace::graph_view(*net.topo), ropt);
+}
+
+nf::FlowMatcher bug_trigger_matcher() {
+  nf::FlowMatcher m;
+  m.src = Ipv4Prefix::host(make_ipv4(100, 0, 0, 1));
+  m.dst = Ipv4Prefix::host(make_ipv4(32, 0, 0, 1));
+  m.src_port_lo = 2000;
+  m.src_port_hi = 2008;
+  m.dst_port_lo = 6000;
+  m.dst_port_hi = 6008;
+  m.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  return m;
+}
+
+nf::FlowMatcher bug_firewall_matcher() {
+  nf::FlowMatcher m;
+  m.dst = Ipv4Prefix::host(make_ipv4(32, 0, 0, 1));
+  m.dst_port_lo = 6000;
+  m.dst_port_hi = 6008;
+  m.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+  return m;
+}
+
+std::vector<FiveTuple> bug_trigger_flows(const Fig10& net, NodeId target_fw) {
+  std::vector<FiveTuple> out;
+  for (std::uint16_t sp = 2000; sp <= 2008; ++sp) {
+    for (std::uint16_t dp = 6000; dp <= 6008; ++dp) {
+      FiveTuple ft;
+      ft.src_ip = make_ipv4(100, 0, 0, 1);
+      ft.dst_ip = make_ipv4(32, 0, 0, 1);
+      ft.src_port = sp;
+      ft.dst_port = dp;
+      ft.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+      if (net.firewall_for_flow(ft) == target_fw) out.push_back(ft);
+    }
+  }
+  return out;
+}
+
+Experiment run_experiment(const ExperimentConfig& cfg) {
+  Experiment ex;
+  ex.sim = std::make_unique<sim::Simulator>();
+  ex.collector = std::make_unique<collector::Collector>(cfg.collector);
+  ex.net = build_fig10(*ex.sim, ex.collector.get(), cfg.topo);
+  nf::Topology& topo = *ex.net.topo;
+
+  Rng rng(cfg.seed);
+
+  // Base traffic.
+  nf::CaidaLikeOptions topts = cfg.traffic;
+  if (topts.seed == 0) topts.seed = cfg.seed;
+  std::vector<nf::SourcePacket> trace = nf::generate_caida_like(topts);
+
+  // Pick the buggy firewall and install the bug (paper: a random firewall
+  // instance processes specific flows at 0.05 Mpps).
+  NodeId bug_fw = kInvalidNode;
+  std::vector<FiveTuple> bug_flows;
+  if (cfg.plan.bug_triggers > 0) {
+    bug_fw = ex.net.firewalls[rng.uniform_u64(ex.net.firewalls.size())];
+    bug_flows = bug_trigger_flows(ex.net, bug_fw);
+    if (bug_flows.empty())
+      throw std::logic_error("no bug-trigger flow reaches the chosen firewall");
+    nf::FirewallBug bug;
+    bug.match = bug_firewall_matcher();
+    bug.slow_service_ns = cfg.plan.bug_service;
+    dynamic_cast<nf::Firewall&>(topo.nf(bug_fw)).set_bug(bug);
+  }
+
+  // Interleave the three injection kinds, spaced far apart (§6.2: "we make
+  // sure the injected problems are separate enough in time").
+  struct Slot {
+    FaultType type;
+  };
+  std::vector<Slot> slots;
+  for (int i = 0; i < std::max({cfg.plan.bursts, cfg.plan.interrupts,
+                                cfg.plan.bug_triggers});
+       ++i) {
+    if (i < cfg.plan.bursts) slots.push_back({FaultType::kTrafficBurst});
+    if (i < cfg.plan.interrupts) slots.push_back({FaultType::kInterrupt});
+    if (i < cfg.plan.bug_triggers) slots.push_back({FaultType::kNfBug});
+  }
+
+  const std::vector<NodeId> all_nfs = ex.net.all_nfs();
+  TimeNs t = cfg.plan.first_at;
+  for (const Slot& slot : slots) {
+    if (t >= topts.duration - 10_ms) break;  // keep inside the trace
+    switch (slot.type) {
+      case FaultType::kTrafficBurst: {
+        // Burst an organic-looking flow at (near) line rate.
+        FiveTuple flow;
+        flow.src_ip = make_ipv4(10, 99, 0, static_cast<std::uint32_t>(
+                                               rng.uniform_u64(250) + 1));
+        flow.dst_ip = make_ipv4(172, 31, 0, static_cast<std::uint32_t>(
+                                                rng.uniform_u64(250) + 1));
+        flow.src_port = static_cast<std::uint16_t>(1024 + rng.uniform_u64(60000));
+        flow.dst_port = 443;
+        flow.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+        const std::size_t count = cfg.plan.burst_min_pkts +
+                                  rng.uniform_u64(cfg.plan.burst_max_pkts -
+                                                  cfg.plan.burst_min_pkts + 1);
+        const std::uint32_t id = ex.injections.add(
+            FaultType::kTrafficBurst, ex.net.source, t,
+            t + static_cast<DurationNs>(count) * cfg.plan.burst_gap, flow);
+        nf::inject_burst(trace, flow, t, count, cfg.plan.burst_gap, id);
+        break;
+      }
+      case FaultType::kInterrupt: {
+        const NodeId target = all_nfs[rng.uniform_u64(all_nfs.size())];
+        const auto len = static_cast<DurationNs>(rng.uniform_i64(
+            cfg.plan.interrupt_min, cfg.plan.interrupt_max));
+        nf::schedule_interrupt(*ex.sim, topo.nf(target), t, len,
+                               ex.injections, FaultType::kInterrupt);
+        break;
+      }
+      case FaultType::kNfBug: {
+        const FiveTuple flow =
+            bug_flows[rng.uniform_u64(bug_flows.size())];
+        const std::size_t count =
+            cfg.plan.bug_flow_min_pkts +
+            rng.uniform_u64(cfg.plan.bug_flow_max_pkts -
+                            cfg.plan.bug_flow_min_pkts + 1);
+        // The *culprit* is the buggy firewall's slow processing; the
+        // trigger flow merely tickles it.
+        const std::uint32_t id = ex.injections.add(
+            FaultType::kNfBug, bug_fw, t,
+            t + static_cast<DurationNs>(count) * cfg.plan.bug_service, flow);
+        nf::inject_burst(trace, flow, t, count, cfg.plan.bug_trigger_gap, id);
+        break;
+      }
+      case FaultType::kNaturalInterrupt:
+        break;
+    }
+    t += cfg.plan.spacing;
+  }
+
+  // Natural noise: short interrupts at uneven per-instance rates (the
+  // §6.5 observation that instances misbehave unevenly).
+  if (cfg.natural_noise) {
+    for (const NodeId id : all_nfs) {
+      nf::NoiseOptions nopt = cfg.noise;
+      Rng nr(cfg.seed ^ (id * 0x51ED2701ULL));
+      nopt.interrupts_per_sec *= 0.5 + 1.5 * nr.uniform01();
+      nopt.seed = cfg.seed ^ (id * 40503ULL);
+      nf::schedule_natural_noise(*ex.sim, topo.nf(id), nopt, topts.duration,
+                                 ex.injections);
+    }
+  }
+
+  topo.source(ex.net.source).set_network(ex.net.topo.get());
+  topo.source(ex.net.source).load(std::move(trace));
+  ex.sim->run_until(topts.duration + cfg.drain);
+
+  ex.catalog = make_catalog(topo);
+  ex.busy = busy_intervals(topo);
+  return ex;
+}
+
+}  // namespace microscope::eval

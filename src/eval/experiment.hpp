@@ -1,0 +1,85 @@
+// End-to-end experiment runner for the accuracy evaluation (paper §6.2):
+// CAIDA-like traffic through the Fig. 10 chain with injected traffic
+// bursts, interrupts, and NF bugs — plus natural noise — producing
+// everything the diagnosis tools and the ground-truth oracle need.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "eval/scenarios.hpp"
+#include "nf/inject.hpp"
+#include "nf/traffic.hpp"
+#include "sim/simulator.hpp"
+#include "trace/reconstruct.hpp"
+
+namespace microscope::eval {
+
+struct InjectionPlan {
+  int bursts = 5;
+  std::size_t burst_min_pkts = 500;
+  std::size_t burst_max_pkts = 2500;
+  /// Inter-packet gap inside a burst (~line rate for 64 B @ 40 GbE).
+  DurationNs burst_gap = 120;
+
+  int interrupts = 5;
+  DurationNs interrupt_min = 500_us;
+  DurationNs interrupt_max = 1000_us;
+
+  int bug_triggers = 5;
+  std::size_t bug_flow_min_pkts = 50;
+  std::size_t bug_flow_max_pkts = 150;
+  DurationNs bug_trigger_gap = 5_us;
+  DurationNs bug_service = 20_us;  // 0.05 Mpps (paper §6.2)
+
+  /// Injections are spaced far apart so ground truth is unambiguous.
+  TimeNs first_at = 40_ms;
+  DurationNs spacing = 40_ms;
+};
+
+struct ExperimentConfig {
+  Fig10Options topo{};
+  nf::CaidaLikeOptions traffic{};
+  InjectionPlan plan{};
+  nf::NoiseOptions noise{};
+  bool natural_noise = true;
+  collector::CollectorOptions collector{};
+  /// Extra time to let queues drain after the last packet.
+  DurationNs drain = 20_ms;
+  std::uint64_t seed = 7;
+};
+
+/// Everything produced by one run.
+struct Experiment {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<collector::Collector> collector;
+  Fig10 net;
+  nf::InjectionLog injections;
+  autofocus::NfCatalog catalog;
+  std::vector<std::vector<netmedic::Interval>> busy;
+
+  /// Reconstruct the trace (call after run()).
+  trace::ReconstructedTrace reconstruct() const;
+  /// Peak rates by node id.
+  std::vector<RatePerNs> peak_rates() const { return net.topo->peak_rates(); }
+};
+
+/// Build, inject, and run the full experiment.
+Experiment run_experiment(const ExperimentConfig& cfg);
+
+/// The §6.4 bug-trigger flow population: TCP 100.0.0.1 -> 32.0.0.1,
+/// sport in [2000,2008], dport in [6000,6008], filtered to flows that the
+/// load balancers route to `target_fw`.
+std::vector<FiveTuple> bug_trigger_flows(const Fig10& net, NodeId target_fw);
+
+/// Matcher covering the §6.4 bug-trigger flow population as emitted by the
+/// source (pre-NAT five-tuple).
+nf::FlowMatcher bug_trigger_matcher();
+
+/// Matcher the buggy firewall itself uses. The NAT rewrites source fields,
+/// so the firewall recognizes trigger flows by their (unchanged)
+/// destination: 32.0.0.1, TCP dport 6000-6008.
+nf::FlowMatcher bug_firewall_matcher();
+
+}  // namespace microscope::eval

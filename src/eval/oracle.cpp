@@ -1,0 +1,84 @@
+#include "eval/oracle.hpp"
+
+#include <algorithm>
+
+namespace microscope::eval {
+
+Oracle::Oracle(const nf::InjectionLog& log, DurationNs horizon)
+    : log_(&log), horizon_(horizon) {}
+
+std::optional<ExpectedCause> Oracle::expected_for(TimeNs victim_time) const {
+  const nf::Injection* best = nullptr;
+  for (const nf::Injection* inj : log_->active_near(victim_time, horizon_)) {
+    if (!best || inj->t0 > best->t0) best = inj;
+  }
+  if (!best) return std::nullopt;
+  ExpectedCause exp;
+  exp.injection = best->id;
+  exp.type = best->type;
+  exp.flow = best->flow;
+  switch (best->type) {
+    case nf::FaultType::kTrafficBurst:
+      exp.culprit = {best->target, core::CauseKind::kSourceTraffic};
+      break;
+    case nf::FaultType::kInterrupt:
+    case nf::FaultType::kNfBug:
+    case nf::FaultType::kNaturalInterrupt:
+      exp.culprit = {best->target, core::CauseKind::kLocalProcessing};
+      break;
+  }
+  return exp;
+}
+
+int microscope_rank(const core::Diagnosis& d, const ExpectedCause& exp,
+                    bool check_flow, std::size_t top_flows) {
+  const auto ranked = core::rank_causes(d);
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (!(ranked[i].culprit == exp.culprit)) continue;
+    if (check_flow && exp.flow &&
+        exp.type == nf::FaultType::kTrafficBurst) {
+      bool found = false;
+      const std::size_t n = std::min(top_flows, ranked[i].flows.size());
+      for (std::size_t k = 0; k < n; ++k) {
+        if (ranked[i].flows[k].flow == *exp.flow) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return 0;
+    }
+    return static_cast<int>(i + 1);
+  }
+  return 0;
+}
+
+int netmedic_rank(const std::vector<netmedic::RankedComponent>& ranked,
+                  const ExpectedCause& exp) {
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].node == exp.culprit.node) return static_cast<int>(i + 1);
+  }
+  return 0;
+}
+
+double rank1_fraction(const std::vector<int>& ranks) {
+  if (ranks.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const int r : ranks)
+    if (r == 1) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(ranks.size());
+}
+
+std::vector<double> rank_cdf(const std::vector<int>& ranks, int max_rank) {
+  std::vector<double> out(static_cast<std::size_t>(max_rank), 0.0);
+  if (ranks.empty()) return out;
+  for (int r = 1; r <= max_rank; ++r) {
+    std::size_t hits = 0;
+    for (const int x : ranks)
+      if (x >= 1 && x <= r) ++hits;
+    out[static_cast<std::size_t>(r - 1)] =
+        static_cast<double>(hits) / static_cast<double>(ranks.size());
+  }
+  return out;
+}
+
+}  // namespace microscope::eval

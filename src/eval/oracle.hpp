@@ -1,0 +1,59 @@
+// Ground-truth oracle and accuracy metrics.
+//
+// Injections are spaced far apart (§6.2), so the true cause of a victim is
+// the unique injection whose impact window covers the victim's time. The
+// paper's accuracy metric is the rank of that true cause in each tool's
+// ranked culprit list (rank 1 = flagged as top culprit).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/relation.hpp"
+#include "netmedic/netmedic.hpp"
+#include "nf/inject.hpp"
+
+namespace microscope::eval {
+
+struct ExpectedCause {
+  std::uint32_t injection{0};
+  nf::FaultType type{nf::FaultType::kInterrupt};
+  core::Culprit culprit{};
+  std::optional<FiveTuple> flow{};
+};
+
+class Oracle {
+ public:
+  /// `horizon` bounds how long after an injection ends its impact can
+  /// still be felt (queue drain time).
+  explicit Oracle(const nf::InjectionLog& log, DurationNs horizon = 15_ms);
+
+  /// The unique injection responsible for a problem at `victim_time`, if
+  /// any (nullopt when the victim falls outside every impact window —
+  /// e.g. natural-noise victims).
+  std::optional<ExpectedCause> expected_for(TimeNs victim_time) const;
+
+ private:
+  const nf::InjectionLog* log_;
+  DurationNs horizon_;
+};
+
+/// Rank of the expected cause in a Microscope diagnosis (1-based; 0 when
+/// absent). When `check_flow` is set and the expected cause names a flow
+/// (bursts), the matching cause must also carry that flow among its top
+/// culprit flows.
+int microscope_rank(const core::Diagnosis& d, const ExpectedCause& exp,
+                    bool check_flow = true, std::size_t top_flows = 8);
+
+/// Rank of the expected culprit component in a NetMedic ranking.
+int netmedic_rank(const std::vector<netmedic::RankedComponent>& ranked,
+                  const ExpectedCause& exp);
+
+/// Fraction of ranks equal to 1 (misses count against).
+double rank1_fraction(const std::vector<int>& ranks);
+
+/// Cumulative fraction of victims whose rank is <= r, for r = 1..max_rank;
+/// misses (rank 0) never count.
+std::vector<double> rank_cdf(const std::vector<int>& ranks, int max_rank);
+
+}  // namespace microscope::eval

@@ -1,0 +1,147 @@
+#include "eval/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/time.hpp"
+#include "eval/oracle.hpp"
+
+namespace microscope::eval {
+
+std::string fmt_pct(double fraction, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+std::string fmt_double(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+void print_rank_curve(std::ostream& os, const std::string& title,
+                      const std::vector<int>& ranks, int max_rank) {
+  os << "== " << title << " ==\n";
+  os << "victims: " << ranks.size() << "\n";
+  const auto cdf = rank_cdf(ranks, max_rank);
+  for (int r = 1; r <= max_rank; ++r) {
+    os << "  rank<=" << std::setw(2) << r << " : "
+       << fmt_pct(cdf[static_cast<std::size_t>(r - 1)]) << "\n";
+  }
+  std::size_t missing = 0;
+  for (const int r : ranks)
+    if (r == 0) ++missing;
+  if (missing > 0)
+    os << "  not ranked: "
+       << fmt_pct(static_cast<double>(missing) /
+                  static_cast<double>(std::max<std::size_t>(1, ranks.size())))
+       << "\n";
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& xlabel, const std::string& ylabel,
+                  const std::vector<std::pair<double, double>>& points) {
+  os << "== " << title << " ==\n";
+  os << std::setw(14) << xlabel << "  " << ylabel << "\n";
+  for (const auto& [x, y] : points) {
+    os << std::setw(14) << fmt_double(x, 3) << "  " << fmt_double(y, 4)
+       << "\n";
+  }
+}
+
+void print_diagnosis_report(std::ostream& os,
+                            std::span<const core::Diagnosis> diagnoses,
+                            const autofocus::NfCatalog& catalog,
+                            std::span<const autofocus::Pattern> patterns,
+                            const ReportOptions& opts) {
+  os << "================ Microscope diagnosis report ================\n";
+  std::size_t with_causes = 0;
+  for (const core::Diagnosis& d : diagnoses)
+    if (!d.relations.empty()) ++with_causes;
+  os << "victims diagnosed: " << diagnoses.size() << " (" << with_causes
+     << " with identified causes)\n\n";
+
+  // Aggregate culprits across all diagnoses.
+  struct Agg {
+    double score{0};
+    std::size_t victims{0};
+    TimeNs t0{kTimeNever};
+    TimeNs t1{0};
+    std::map<std::uint64_t, std::pair<FiveTuple, double>> flows;
+  };
+  std::map<core::Culprit, Agg> agg;
+  for (const core::Diagnosis& d : diagnoses) {
+    for (const core::RankedCause& rc : core::rank_causes(d)) {
+      Agg& a = agg[rc.culprit];
+      a.score += rc.score;
+      ++a.victims;
+      a.t0 = std::min(a.t0, rc.t0);
+      a.t1 = std::max(a.t1, rc.t1);
+      for (std::size_t i = 0; i < rc.flows.size() && i < 4; ++i) {
+        auto& e = a.flows[flow_hash(rc.flows[i].flow)];
+        e.first = rc.flows[i].flow;
+        e.second += rc.flows[i].weight;
+      }
+    }
+  }
+  std::vector<std::pair<core::Culprit, Agg>> ranked(agg.begin(), agg.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.score > b.second.score;
+  });
+
+  os << "---- ranked culprits "
+        "(score = packets of queue buildup attributed) ----\n";
+  std::size_t shown = 0;
+  for (const auto& [culprit, a] : ranked) {
+    if (++shown > opts.max_culprits) break;
+    const std::string name = culprit.node < catalog.node_names.size()
+                                 ? catalog.node_names[culprit.node]
+                                 : "node" + std::to_string(culprit.node);
+    os << std::setw(2) << shown << ". " << name << " ["
+       << core::to_string(culprit.kind) << "]  score "
+       << fmt_double(a.score, 0) << ", affects " << a.victims
+       << " victims, behaviour within [" << fmt_double(to_ms(a.t0), 2) << ", "
+       << fmt_double(to_ms(a.t1), 2) << "] ms\n";
+    std::vector<std::pair<FiveTuple, double>> flows;
+    for (const auto& [h, fw] : a.flows) flows.push_back(fw);
+    std::sort(flows.begin(), flows.end(),
+              [](const auto& x, const auto& y) { return x.second > y.second; });
+    for (std::size_t i = 0; i < flows.size() && i < opts.max_flows_per_culprit;
+         ++i) {
+      os << "      flow " << format_five_tuple(flows[i].first) << "  (weight "
+         << fmt_double(flows[i].second, 1) << ")\n";
+    }
+  }
+
+  if (!patterns.empty()) {
+    os << "\n---- causal patterns (culprit => victim aggregates) ----\n";
+    for (std::size_t i = 0; i < patterns.size() && i < opts.max_patterns; ++i)
+      os << "  " << autofocus::format_pattern(patterns[i], catalog) << "\n";
+  }
+  os << "=============================================================\n";
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  os << "== " << title << " ==\n";
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "  ";
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+      os << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    os << "\n";
+  };
+  print_row(header);
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace microscope::eval

@@ -1,0 +1,47 @@
+// Plain-text figure/table renderers used by the bench binaries.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "autofocus/aggregate.hpp"
+#include "core/relation.hpp"
+
+namespace microscope::eval {
+
+/// Fig. 11/12-style summary: for each rank r, the cumulative percentage of
+/// victims whose true cause was ranked <= r.
+void print_rank_curve(std::ostream& os, const std::string& title,
+                      const std::vector<int>& ranks, int max_rank = 10);
+
+/// A simple two-column (x, y) series, one row per point.
+void print_series(std::ostream& os, const std::string& title,
+                  const std::string& xlabel, const std::string& ylabel,
+                  const std::vector<std::pair<double, double>>& points);
+
+/// An aligned table with a header row.
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+std::string fmt_pct(double fraction, int decimals = 1);
+std::string fmt_double(double v, int decimals = 2);
+
+struct ReportOptions {
+  std::size_t max_culprits = 10;
+  std::size_t max_patterns = 15;
+  std::size_t max_flows_per_culprit = 3;
+};
+
+/// Operator-facing summary of a batch of diagnoses: victim counts, the
+/// ranked culprit list aggregated across victims (with their top flows and
+/// behaviour windows), and the aggregated causal patterns.
+void print_diagnosis_report(std::ostream& os,
+                            std::span<const core::Diagnosis> diagnoses,
+                            const autofocus::NfCatalog& catalog,
+                            std::span<const autofocus::Pattern> patterns,
+                            const ReportOptions& opts = {});
+
+}  // namespace microscope::eval

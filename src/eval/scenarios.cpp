@@ -1,0 +1,295 @@
+#include "eval/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace microscope::eval {
+
+using nf::FwAction;
+using nf::FwRule;
+using nf::NfConfig;
+
+namespace {
+
+constexpr std::uint64_t kSaltNat = 1;
+constexpr std::uint64_t kSaltFw = 2;
+constexpr std::uint64_t kSaltMon = 3;
+constexpr std::uint64_t kSaltVpn = 4;
+
+/// Mirrors make_lb_router's hashing so scenario code can predict routing.
+std::size_t lb_pick(const FiveTuple& flow, std::uint64_t salt,
+                    std::size_t n) {
+  std::uint64_t h = flow_hash(flow) ^ (salt * 0x9E3779B97F4A7C15ULL);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h % n);
+}
+
+std::uint32_t nat_public_ip(int index) {
+  return make_ipv4(100, 64, 0, static_cast<std::uint32_t>(index + 1));
+}
+
+/// The paper's firewall config: rule-matched flows go to a Monitor. We
+/// monitor the "service" ports of the synthetic traffic mix (~1/3 of it).
+std::vector<FwRule> default_fw_rules() {
+  std::vector<FwRule> rules;
+  for (const std::uint16_t port : {80, 53, 22}) {
+    FwRule r;
+    r.match.dst_port_lo = port;
+    r.match.dst_port_hi = port;
+    r.action = FwAction::kToMonitor;
+    rules.push_back(r);
+  }
+  return rules;
+}
+
+}  // namespace
+
+std::vector<NodeId> Fig10::all_nfs() const {
+  std::vector<NodeId> out;
+  out.insert(out.end(), nats.begin(), nats.end());
+  out.insert(out.end(), firewalls.begin(), firewalls.end());
+  out.insert(out.end(), monitors.begin(), monitors.end());
+  out.insert(out.end(), vpns.begin(), vpns.end());
+  return out;
+}
+
+NodeId Fig10::nat_for_flow(const FiveTuple& flow) const {
+  return nats[lb_pick(flow, kSaltNat, nats.size())];
+}
+
+NodeId Fig10::firewall_for_flow(const FiveTuple& flow) const {
+  const std::size_t nat_idx = lb_pick(flow, kSaltNat, nats.size());
+  const FiveTuple post =
+      nf::Nat::translate(flow, nat_public_ip(static_cast<int>(nat_idx)));
+  return firewalls[lb_pick(post, kSaltFw, firewalls.size())];
+}
+
+Fig10 build_fig10(sim::Simulator& sim, collector::Collector* col,
+                  const Fig10Options& opts) {
+  Fig10 net;
+  net.opts = opts;
+  nf::Topology::Options topt;
+  topt.prop_delay = opts.prop_delay;
+  net.topo = std::make_unique<nf::Topology>(sim, col, topt);
+  nf::Topology& topo = *net.topo;
+
+  net.source = topo.add_source("src").id();
+
+  for (int i = 0; i < opts.nats; ++i) {
+    NfConfig cfg;
+    cfg.name = "nat" + std::to_string(i + 1);
+    cfg.base_service_ns = opts.nat_service;
+    cfg.jitter_sigma = opts.jitter_sigma;
+    cfg.seed = opts.seed * 131 + i;
+    cfg.record_busy_intervals = opts.record_busy;
+    net.nats.push_back(topo.add_nat(cfg, nat_public_ip(i)).id());
+  }
+  for (int i = 0; i < opts.firewalls; ++i) {
+    NfConfig cfg;
+    cfg.name = "fw" + std::to_string(i + 1);
+    cfg.base_service_ns = opts.fw_service;
+    cfg.jitter_sigma = opts.jitter_sigma;
+    cfg.seed = opts.seed * 137 + i;
+    cfg.record_busy_intervals = opts.record_busy;
+    net.firewalls.push_back(
+        topo.add_firewall(cfg, default_fw_rules(), opts.fw_per_rule).id());
+  }
+  for (int i = 0; i < opts.monitors; ++i) {
+    NfConfig cfg;
+    cfg.name = "mon" + std::to_string(i + 1);
+    cfg.base_service_ns = opts.mon_service;
+    cfg.jitter_sigma = opts.jitter_sigma;
+    cfg.seed = opts.seed * 139 + i;
+    cfg.record_busy_intervals = opts.record_busy;
+    net.monitors.push_back(topo.add_monitor(cfg).id());
+  }
+  for (int i = 0; i < opts.vpns; ++i) {
+    NfConfig cfg;
+    cfg.name = "vpn" + std::to_string(i + 1);
+    cfg.base_service_ns = opts.vpn_service;
+    cfg.jitter_sigma = opts.jitter_sigma;
+    cfg.seed = opts.seed * 149 + i;
+    cfg.record_busy_intervals = opts.record_busy;
+    cfg.record_full_flow = true;  // edge of the NF graph
+    net.vpns.push_back(topo.add_vpn(cfg, opts.vpn_per_byte).id());
+  }
+
+  // Routing + static DAG edges.
+  topo.source(net.source).set_router(nf::make_lb_router(net.nats, kSaltNat));
+  for (const NodeId nat : net.nats) {
+    topo.add_edge(net.source, nat);
+    topo.nf(nat).set_router(nf::make_lb_router(net.firewalls, kSaltFw));
+    for (const NodeId fw : net.firewalls) topo.add_edge(nat, fw);
+  }
+  for (const NodeId fw : net.firewalls) {
+    auto& firewall = dynamic_cast<nf::Firewall&>(topo.nf(fw));
+    firewall.set_monitor_router(nf::make_lb_router(net.monitors, kSaltMon));
+    firewall.set_vpn_router(nf::make_lb_router(net.vpns, kSaltVpn));
+    for (const NodeId m : net.monitors) topo.add_edge(fw, m);
+    for (const NodeId v : net.vpns) topo.add_edge(fw, v);
+  }
+  for (const NodeId m : net.monitors) {
+    topo.nf(m).set_router(nf::make_lb_router(net.vpns, kSaltVpn));
+    for (const NodeId v : net.vpns) topo.add_edge(m, v);
+  }
+  for (const NodeId v : net.vpns) {
+    topo.nf(v).set_router(
+        [sink = topo.sink_id()](const Packet&) { return sink; });
+    topo.add_edge(v, topo.sink_id());
+  }
+  return net;
+}
+
+SingleNf build_single_firewall(sim::Simulator& sim, collector::Collector* col,
+                               DurationNs service_ns, double jitter_sigma) {
+  SingleNf net;
+  net.topo = std::make_unique<nf::Topology>(sim, col);
+  nf::Topology& topo = *net.topo;
+  net.source = topo.add_source("src").id();
+  NfConfig cfg;
+  cfg.name = "fw1";
+  cfg.base_service_ns = service_ns;
+  cfg.jitter_sigma = jitter_sigma;
+  cfg.record_full_flow = true;
+  net.nf = topo.add_firewall(cfg, {}, 0).id();
+  topo.source(net.source).set_router([nf = net.nf](const Packet&) { return nf; });
+  auto& fw = dynamic_cast<nf::Firewall&>(topo.nf(net.nf));
+  fw.set_vpn_router([sink = topo.sink_id()](const Packet&) { return sink; });
+  fw.set_monitor_router([sink = topo.sink_id()](const Packet&) { return sink; });
+  topo.add_edge(net.source, net.nf);
+  topo.add_edge(net.nf, topo.sink_id());
+  return net;
+}
+
+Fig2Net build_fig2(sim::Simulator& sim, collector::Collector* col) {
+  Fig2Net net;
+  net.topo = std::make_unique<nf::Topology>(sim, col);
+  nf::Topology& topo = *net.topo;
+  net.caida_source = topo.add_source("caida-src").id();
+  net.flow_a_source = topo.add_source("flowA-src").id();
+
+  NfConfig nat_cfg;
+  nat_cfg.name = "nat";
+  nat_cfg.base_service_ns = 550;
+  nat_cfg.record_busy_intervals = true;
+  net.nat = topo.add_nat(nat_cfg, make_ipv4(100, 64, 0, 1)).id();
+
+  NfConfig vpn_cfg;
+  vpn_cfg.name = "vpn";
+  vpn_cfg.base_service_ns = 770;
+  vpn_cfg.record_full_flow = true;
+  vpn_cfg.record_busy_intervals = true;
+  net.vpn = topo.add_vpn(vpn_cfg, 2).id();
+
+  topo.source(net.caida_source)
+      .set_router([nat = net.nat](const Packet&) { return nat; });
+  topo.source(net.flow_a_source)
+      .set_router([vpn = net.vpn](const Packet&) { return vpn; });
+  topo.nf(net.nat).set_router([vpn = net.vpn](const Packet&) { return vpn; });
+  topo.nf(net.vpn).set_router(
+      [sink = topo.sink_id()](const Packet&) { return sink; });
+
+  topo.add_edge(net.caida_source, net.nat);
+  topo.add_edge(net.nat, net.vpn);
+  topo.add_edge(net.flow_a_source, net.vpn);
+  topo.add_edge(net.vpn, topo.sink_id());
+  return net;
+}
+
+Fig3Net build_fig3(sim::Simulator& sim, collector::Collector* col) {
+  Fig3Net net;
+  net.topo = std::make_unique<nf::Topology>(sim, col);
+  nf::Topology& topo = *net.topo;
+  net.nat_source = topo.add_source("nat-src").id();
+  net.mon_source = topo.add_source("mon-src").id();
+  net.flow_a_source = topo.add_source("flowA-src").id();
+
+  NfConfig nat_cfg;
+  nat_cfg.name = "nat";
+  nat_cfg.base_service_ns = 550;
+  nat_cfg.record_busy_intervals = true;
+  net.nat = topo.add_nat(nat_cfg, make_ipv4(100, 64, 0, 1)).id();
+
+  NfConfig mon_cfg;
+  mon_cfg.name = "mon";
+  mon_cfg.base_service_ns = 450;
+  mon_cfg.record_busy_intervals = true;
+  net.monitor = topo.add_monitor(mon_cfg).id();
+
+  NfConfig vpn_cfg;
+  vpn_cfg.name = "vpn";
+  vpn_cfg.base_service_ns = 770;
+  vpn_cfg.record_full_flow = true;
+  vpn_cfg.record_busy_intervals = true;
+  net.vpn = topo.add_vpn(vpn_cfg, 2).id();
+
+  topo.source(net.nat_source)
+      .set_router([nat = net.nat](const Packet&) { return nat; });
+  topo.source(net.mon_source)
+      .set_router([mon = net.monitor](const Packet&) { return mon; });
+  topo.source(net.flow_a_source)
+      .set_router([vpn = net.vpn](const Packet&) { return vpn; });
+  topo.nf(net.nat).set_router([vpn = net.vpn](const Packet&) { return vpn; });
+  topo.nf(net.monitor).set_router(
+      [vpn = net.vpn](const Packet&) { return vpn; });
+  topo.nf(net.vpn).set_router(
+      [sink = topo.sink_id()](const Packet&) { return sink; });
+
+  topo.add_edge(net.nat_source, net.nat);
+  topo.add_edge(net.mon_source, net.monitor);
+  topo.add_edge(net.nat, net.vpn);
+  topo.add_edge(net.monitor, net.vpn);
+  topo.add_edge(net.flow_a_source, net.vpn);
+  topo.add_edge(net.vpn, topo.sink_id());
+  return net;
+}
+
+autofocus::NfCatalog make_catalog(const nf::Topology& topo) {
+  autofocus::NfCatalog cat;
+  const std::size_t n = topo.node_count();
+  cat.node_names.resize(n);
+  cat.type_of.assign(n, 0);
+
+  auto type_id = [&cat](const std::string& type) -> std::uint16_t {
+    for (std::uint16_t i = 0; i < cat.type_names.size(); ++i)
+      if (cat.type_names[i] == type) return i;
+    cat.type_names.push_back(type);
+    return static_cast<std::uint16_t>(cat.type_names.size() - 1);
+  };
+
+  for (NodeId id = 0; id < n; ++id) {
+    cat.node_names[id] = topo.name(id);
+    switch (topo.kind(id)) {
+      case nf::NodeKind::kSource:
+        cat.type_of[id] = type_id("source");
+        break;
+      case nf::NodeKind::kSink:
+        cat.type_of[id] = type_id("sink");
+        break;
+      case nf::NodeKind::kNf: {
+        // Strip the trailing instance number to get the type name.
+        std::string name = topo.name(id);
+        while (!name.empty() && std::isdigit(static_cast<unsigned char>(
+                                    name.back()))) {
+          name.pop_back();
+        }
+        cat.type_of[id] = type_id(name.empty() ? "nf" : name);
+        break;
+      }
+    }
+  }
+  return cat;
+}
+
+std::vector<std::vector<netmedic::Interval>> busy_intervals(
+    const nf::Topology& topo) {
+  std::vector<std::vector<netmedic::Interval>> out(topo.node_count());
+  for (const NodeId id : topo.nf_ids()) {
+    for (const nf::BusyInterval& iv : topo.nf(id).busy_intervals())
+      out[id].push_back({iv.start, iv.end});
+  }
+  return out;
+}
+
+}  // namespace microscope::eval

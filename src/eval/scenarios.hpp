@@ -1,0 +1,103 @@
+// Topology builders for the paper's scenarios.
+//
+//  * build_fig10: the 16-NF evaluation chain of Fig. 10 (4 NATs -> 5
+//    Firewalls -> 3 Monitors / 4 VPNs, flow-level load balancing, rule-
+//    matched flows detouring via a Monitor).
+//  * build_single_nf / build_chain: the small §2 motivation setups.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autofocus/hierarchy.hpp"
+#include "collector/collector.hpp"
+#include "netmedic/netmedic.hpp"
+#include "nf/topology.hpp"
+#include "sim/simulator.hpp"
+#include "trace/graph.hpp"
+
+namespace microscope::eval {
+
+struct Fig10Options {
+  int nats = 4;
+  int firewalls = 5;
+  int monitors = 3;
+  int vpns = 4;
+
+  // Per-packet service costs (64 B packets). Chosen so peak rates bracket
+  // the evaluation load the way the paper's Click-DPDK NFs do.
+  DurationNs nat_service = 550;   // ~1.8 Mpps
+  DurationNs fw_service = 560;    // + 8 ns per rule (5 rules) ~ 1.65 Mpps
+  DurationNs mon_service = 450;   // ~2.2 Mpps
+  DurationNs vpn_service = 770;   // + 2 ns/B * 64 ~ 1.1 Mpps
+  DurationNs fw_per_rule = 8;
+  DurationNs vpn_per_byte = 2;
+
+  double jitter_sigma = 0.05;
+  bool record_busy = true;  // NetMedic's CPU metric needs intervals
+  DurationNs prop_delay = 1_us;
+  std::uint64_t seed = 1;
+};
+
+/// Handle to a built Fig. 10 network.
+struct Fig10 {
+  std::unique_ptr<nf::Topology> topo;
+  NodeId source{kInvalidNode};
+  std::vector<NodeId> nats;
+  std::vector<NodeId> firewalls;
+  std::vector<NodeId> monitors;
+  std::vector<NodeId> vpns;
+  Fig10Options opts;
+
+  /// All 16 NF node ids.
+  std::vector<NodeId> all_nfs() const;
+  /// The firewall instance a (pre-NAT) flow will traverse.
+  NodeId firewall_for_flow(const FiveTuple& flow) const;
+  /// The NAT instance a (pre-NAT) flow will traverse.
+  NodeId nat_for_flow(const FiveTuple& flow) const;
+};
+
+Fig10 build_fig10(sim::Simulator& sim, collector::Collector* col,
+                  const Fig10Options& opts = {});
+
+/// source -> one firewall -> sink (Fig. 1 motivation experiment).
+struct SingleNf {
+  std::unique_ptr<nf::Topology> topo;
+  NodeId source{kInvalidNode};
+  NodeId nf{kInvalidNode};
+};
+SingleNf build_single_firewall(sim::Simulator& sim, collector::Collector* col,
+                               DurationNs service_ns = 700,
+                               double jitter_sigma = 0.0);
+
+/// Fig. 2: CAIDA source -> NAT -> VPN; a second source feeds the VPN
+/// directly with flow A.
+struct Fig2Net {
+  std::unique_ptr<nf::Topology> topo;
+  NodeId caida_source{kInvalidNode};
+  NodeId flow_a_source{kInvalidNode};
+  NodeId nat{kInvalidNode};
+  NodeId vpn{kInvalidNode};
+};
+Fig2Net build_fig2(sim::Simulator& sim, collector::Collector* col);
+
+/// Fig. 3: NAT and Monitor both feed a VPN; flow A also feeds the VPN.
+struct Fig3Net {
+  std::unique_ptr<nf::Topology> topo;
+  NodeId nat_source{kInvalidNode};
+  NodeId mon_source{kInvalidNode};
+  NodeId flow_a_source{kInvalidNode};
+  NodeId nat{kInvalidNode};
+  NodeId monitor{kInvalidNode};
+  NodeId vpn{kInvalidNode};
+};
+Fig3Net build_fig3(sim::Simulator& sim, collector::Collector* col);
+
+/// NF-type names + instance names for pattern aggregation and reports.
+autofocus::NfCatalog make_catalog(const nf::Topology& topo);
+
+/// Per-node CPU busy intervals (NetMedic's host metrics).
+std::vector<std::vector<netmedic::Interval>> busy_intervals(
+    const nf::Topology& topo);
+
+}  // namespace microscope::eval

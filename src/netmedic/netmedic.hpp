@@ -1,0 +1,101 @@
+// NetMedic baseline, adapted to NFV exactly as the paper's evaluation does
+// (§6.1 "Alternative approach"):
+//
+//  * components = NF instances + traffic sources, edges = the NF DAG;
+//  * per-component, per-time-window resource/performance metrics (CPU
+//    usage, traffic rates, queue occupancy, drops);
+//  * a component is abnormal in a window when a metric deviates from its
+//    own history; edge influence is estimated from historical correlation;
+//  * diagnosis of a victim at component d and time t ranks every component
+//    with a path to d by (abnormality in t's window) x (influence on d).
+//
+// Its characteristic failure modes — missing lagged impact that crosses
+// window boundaries, and over-blaming the victim-local rate spike during a
+// burst — are inherent to same-window correlation, which is the paper's
+// point.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/graph.hpp"
+#include "trace/reconstruct.hpp"
+
+namespace microscope::netmedic {
+
+struct Interval {
+  TimeNs start;
+  TimeNs end;
+};
+
+struct NetMedicOptions {
+  /// Correlation window (the paper finds 10 ms best and sweeps 1-100 ms).
+  DurationNs window = 10_ms;
+  /// Influence attenuation per DAG hop between culprit and victim.
+  double hop_decay = 0.8;
+  /// Windows with |metric - mean| > k * stddev are abnormal.
+  double abnormal_k = 1.0;
+};
+
+/// Per-window metric vector of one component.
+///
+/// Only cpu_util, in_rate and out_rate feed the abnormality test — the
+/// paper's adaptation monitors "CPU usage, memory usage and traffic rates";
+/// it does NOT see queue occupancy (that is Microscope's own signal).
+/// queue_len/drops are kept for introspection and tests only.
+struct MetricRow {
+  double cpu_util{0};
+  double in_rate{0};    // packets arriving in the window
+  double out_rate{0};   // packets emitted in the window
+  double queue_len{0};  // peak backlog in the window (not used for ranking)
+  double drops{0};      // (not used for ranking)
+};
+
+struct RankedComponent {
+  NodeId node{kInvalidNode};
+  double score{0.0};
+};
+
+class NetMedic {
+ public:
+  /// `busy` holds per-node CPU busy intervals (the OS-level counters
+  /// NetMedic would read from the host), indexed by node id.
+  NetMedic(const trace::ReconstructedTrace& rt,
+           const std::vector<std::vector<Interval>>& busy,
+           NetMedicOptions opts = {});
+
+  /// Rank candidate culprits for a problem observed at `victim_node`
+  /// around time `t`. Every component with a path to the victim gets a
+  /// score (NetMedic always produces a full ranking).
+  std::vector<RankedComponent> diagnose(NodeId victim_node, TimeNs t) const;
+
+  std::size_t window_count() const { return windows_; }
+  const MetricRow& metric(NodeId node, std::size_t w) const {
+    return metrics_.at(node).at(w);
+  }
+  const NetMedicOptions& options() const { return opts_; }
+
+ private:
+  double abnormality(NodeId node, std::size_t w) const;
+  /// Historical Pearson correlation between c's and d's abnormality series
+  /// (same-window correlation — the approach's defining assumption).
+  double influence(NodeId c, NodeId d) const;
+  int dag_distance(NodeId c, NodeId d) const;
+
+  const trace::GraphView* graph_;
+  NetMedicOptions opts_;
+  std::size_t windows_{0};
+  std::vector<std::vector<MetricRow>> metrics_;  // [node][window]
+  // Per-node per-metric mean/stddev over all windows.
+  struct Moments {
+    double mean[5];
+    double std[5];
+  };
+  std::vector<Moments> moments_;
+  std::vector<std::vector<int>> dist_;       // dag_distance cache
+  std::vector<std::vector<double>> abn_;     // [node][window] cache
+  std::vector<std::vector<double>> infl_;    // [c][d] influence cache
+};
+
+}  // namespace microscope::netmedic

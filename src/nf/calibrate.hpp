@@ -1,0 +1,36 @@
+// Offline peak-rate calibration.
+//
+// The paper measures each NF's peak processing rate r_f "by stress testing
+// the NF offline with the same hardware and software settings" (§4.1,
+// footnote 3). This runs exactly that experiment: saturate one NF instance
+// in an isolated simulation and measure its drain rate.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "collector/collector.hpp"
+#include "common/time.hpp"
+#include "nf/nf.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+
+/// Builds the NF under test inside the given simulator. The factory must
+/// register the instance with node id `id`.
+using NfFactory = std::function<std::unique_ptr<NfInstance>(
+    sim::Simulator&, NodeId id, collector::Collector*)>;
+
+struct CalibrationResult {
+  RatePerNs measured;
+  std::uint64_t packets;
+  DurationNs duration;
+};
+
+/// Stress-test an NF at overload for `duration` and report its measured
+/// peak rate (packets drained / time).
+CalibrationResult measure_peak_rate(const NfFactory& factory,
+                                    DurationNs duration = 20_ms,
+                                    std::uint64_t seed = 99);
+
+}  // namespace microscope::nf

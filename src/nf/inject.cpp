@@ -1,0 +1,75 @@
+#include "nf/inject.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace microscope::nf {
+
+std::string to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kTrafficBurst:
+      return "traffic-burst";
+    case FaultType::kInterrupt:
+      return "interrupt";
+    case FaultType::kNfBug:
+      return "nf-bug";
+    case FaultType::kNaturalInterrupt:
+      return "natural-interrupt";
+  }
+  return "?";
+}
+
+std::uint32_t InjectionLog::add(FaultType type, NodeId target, TimeNs t0,
+                                TimeNs t1, std::optional<FiveTuple> flow) {
+  Injection inj;
+  inj.id = static_cast<std::uint32_t>(injections_.size() + 1);
+  inj.type = type;
+  inj.target = target;
+  inj.t0 = t0;
+  inj.t1 = t1;
+  inj.flow = flow;
+  injections_.push_back(inj);
+  return inj.id;
+}
+
+const Injection& InjectionLog::by_id(std::uint32_t id) const {
+  if (id == 0 || id > injections_.size())
+    throw std::out_of_range("InjectionLog: bad id");
+  return injections_[id - 1];
+}
+
+std::vector<const Injection*> InjectionLog::active_near(
+    TimeNs t, DurationNs horizon) const {
+  std::vector<const Injection*> out;
+  for (const Injection& inj : injections_) {
+    if (inj.type == FaultType::kNaturalInterrupt) continue;
+    if (t >= inj.t0 && t <= inj.t1 + horizon) out.push_back(&inj);
+  }
+  return out;
+}
+
+std::uint32_t schedule_interrupt(sim::Simulator& sim, NfInstance& nf, TimeNs at,
+                                 DurationNs len, InjectionLog& log,
+                                 FaultType type) {
+  const std::uint32_t id = log.add(type, nf.id(), at, at + len);
+  sim.schedule_at(at, [&nf, len] { nf.pause(len); });
+  return id;
+}
+
+void schedule_natural_noise(sim::Simulator& sim, NfInstance& nf,
+                            const NoiseOptions& opts, TimeNs t_end,
+                            InjectionLog& log) {
+  if (opts.interrupts_per_sec <= 0) return;
+  Rng rng(opts.seed ^ (0xC0FFEEULL * (nf.id() + 1)));
+  const double mean_gap_ns = 1e9 / opts.interrupts_per_sec;
+  TimeNs t = static_cast<TimeNs>(rng.exponential(mean_gap_ns));
+  while (t < t_end) {
+    const auto len = static_cast<DurationNs>(
+        rng.uniform_i64(opts.min_len, opts.max_len));
+    schedule_interrupt(sim, nf, t, len, log, FaultType::kNaturalInterrupt);
+    t += static_cast<TimeNs>(rng.exponential(mean_gap_ns));
+  }
+}
+
+}  // namespace microscope::nf

@@ -1,0 +1,82 @@
+// Fault injection and ground-truth bookkeeping.
+//
+// The paper evaluates accuracy by injecting three kinds of problems
+// (§6.2): traffic bursts at the source, interrupts at a random NF, and an
+// NF bug triggered by specific flows. The InjectionLog is the ground truth
+// the evaluation oracle compares diagnoses against. Natural noise
+// (low-rate short interrupts + service jitter) reproduces the concurrent
+// "other culprits" responsible for the paper's ~10% non-rank-1 cases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/flow.hpp"
+#include "common/time.hpp"
+#include "nf/nf.hpp"
+#include "nf/nf_types.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+
+enum class FaultType : std::uint8_t {
+  kTrafficBurst,
+  kInterrupt,
+  kNfBug,
+  kNaturalInterrupt,  // noise; never a "correct" answer for the oracle
+};
+
+std::string to_string(FaultType t);
+
+struct Injection {
+  std::uint32_t id{0};
+  FaultType type{FaultType::kInterrupt};
+  /// Burst: the source node. Interrupt/bug: the NF node.
+  NodeId target{kInvalidNode};
+  TimeNs t0{0};
+  TimeNs t1{0};
+  /// Bursts and bug triggers: the offending flow.
+  std::optional<FiveTuple> flow{};
+};
+
+class InjectionLog {
+ public:
+  /// Register an injection; returns its id (ids start at 1; tag 0 means
+  /// "organic traffic" everywhere).
+  std::uint32_t add(FaultType type, NodeId target, TimeNs t0, TimeNs t1,
+                    std::optional<FiveTuple> flow = std::nullopt);
+
+  const std::vector<Injection>& all() const { return injections_; }
+  const Injection& by_id(std::uint32_t id) const;
+
+  /// Injections (excluding natural noise) whose impact window
+  /// [t0, t1 + horizon] contains `t`.
+  std::vector<const Injection*> active_near(TimeNs t, DurationNs horizon) const;
+
+ private:
+  std::vector<Injection> injections_;
+};
+
+/// Schedule an interrupt (core steal) of `len` at time `at` on `nf`,
+/// recording it in `log` with the given fault type.
+std::uint32_t schedule_interrupt(sim::Simulator& sim, NfInstance& nf, TimeNs at,
+                                 DurationNs len, InjectionLog& log,
+                                 FaultType type = FaultType::kInterrupt);
+
+struct NoiseOptions {
+  /// Mean natural interrupts per simulated second per NF.
+  double interrupts_per_sec = 15.0;
+  DurationNs min_len = 20_us;
+  DurationNs max_len = 80_us;
+  std::uint64_t seed = 7;
+};
+
+/// Schedule Poisson natural-noise interrupts on `nf` over [0, t_end).
+/// They are recorded as kNaturalInterrupt (never correct ground truth).
+void schedule_natural_noise(sim::Simulator& sim, NfInstance& nf,
+                            const NoiseOptions& opts, TimeNs t_end,
+                            InjectionLog& log);
+
+}  // namespace microscope::nf

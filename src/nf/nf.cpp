@@ -1,0 +1,140 @@
+#include "nf/nf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace microscope::nf {
+
+NfInstance::NfInstance(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                       collector::Collector* collector)
+    : sim_(&sim),
+      id_(id),
+      cfg_(std::move(cfg)),
+      collector_(collector),
+      queue_(cfg_.queue_capacity),
+      rng_(cfg_.seed ^ (0xA5A5A5A5ULL + id)) {
+  if (cfg_.max_batch == 0) throw std::invalid_argument("max_batch == 0");
+  if (cfg_.base_service_ns <= 0)
+    throw std::invalid_argument("base_service_ns <= 0");
+  if (collector_) collector_->register_node(id_, cfg_.record_full_flow);
+}
+
+RatePerNs NfInstance::peak_rate() const {
+  const double per_batch = static_cast<double>(cfg_.batch_overhead_ns) +
+                           static_cast<double>(cfg_.max_batch) *
+                               static_cast<double>(cfg_.base_service_ns);
+  return RatePerNs{static_cast<double>(cfg_.max_batch) / per_batch};
+}
+
+double NfInstance::jitter() {
+  if (cfg_.jitter_sigma <= 0.0) return 1.0;
+  // Mean-one lognormal: mu = -sigma^2 / 2.
+  const double sigma = cfg_.jitter_sigma;
+  return rng_.lognormal(-sigma * sigma / 2.0, sigma);
+}
+
+DurationNs NfInstance::service_ns(const Packet&) {
+  const double t = static_cast<double>(cfg_.base_service_ns) * jitter();
+  return std::max<DurationNs>(1, static_cast<DurationNs>(t));
+}
+
+void NfInstance::process(Packet&) {}
+
+NodeId NfInstance::route(const Packet& p) {
+  if (!router_) throw std::logic_error(cfg_.name + ": no router configured");
+  return router_(p);
+}
+
+void NfInstance::enqueue(const Packet& p) {
+  const TimeNs now = sim_->now();
+  if (!queue_.push(p)) {
+    if (drop_log_) drop_log_->push_back({p.uid, now, id_});
+    return;
+  }
+  if (idle_) {
+    idle_ = false;
+    schedule_poll(std::max(now, pause_until_));
+  }
+}
+
+void NfInstance::pause(DurationNs len) {
+  const TimeNs now = sim_->now();
+  const TimeNs base = std::max(now, pause_until_);
+  pause_until_ = base + len;
+  pause_intervals_.push_back({base, pause_until_});
+  if (!idle_ && batch_finish_ > now) {
+    // The in-flight batch loses the core for `len`; completion re-checks.
+    batch_finish_ += len;
+  }
+}
+
+void NfInstance::schedule_poll(TimeNs t) {
+  sim_->schedule_at(t, [this] { poll(); });
+}
+
+void NfInstance::poll() {
+  const TimeNs now = sim_->now();
+  if (now < pause_until_) {
+    schedule_poll(pause_until_);
+    return;
+  }
+  if (queue_.empty()) {
+    idle_ = true;
+    return;
+  }
+  inflight_ = queue_.pop_batch(cfg_.max_batch);
+  if (collector_) collector_->on_rx(id_, now, inflight_);
+
+  DurationNs total = cfg_.batch_overhead_ns;
+  for (const Packet& p : inflight_) total += service_ns(p);
+  batch_start_ = now;
+  batch_finish_ = now + total;
+  busy_accum_ += total;
+  sim_->schedule_at(batch_finish_, [this] { complete(); });
+}
+
+void NfInstance::complete() {
+  const TimeNs now = sim_->now();
+  if (now < batch_finish_) {
+    // An interrupt extended the batch; try again at the new finish time.
+    sim_->schedule_at(batch_finish_, [this] { complete(); });
+    return;
+  }
+  if (cfg_.record_busy_intervals)
+    busy_intervals_.push_back({batch_start_, now});
+
+  // Process, route, and emit one tx batch per destination (order preserved
+  // within each destination, as DPDK tx queues do).
+  std::vector<std::pair<NodeId, std::vector<Packet>>> groups;
+  for (Packet& p : inflight_) {
+    process(p);
+    const NodeId dest = route(p);
+    ++processed_;
+    if (dest == kDropNode) {
+      ++policy_drops_;
+      continue;
+    }
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [dest](const auto& g) { return g.first == dest; });
+    if (it == groups.end()) {
+      groups.emplace_back(dest, std::vector<Packet>{});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(p);
+  }
+  inflight_.clear();
+
+  for (auto& [dest, pkts] : groups) {
+    if (collector_) collector_->on_tx(id_, dest, now, pkts);
+    if (network_) network_->deliver(id_, dest, now + prop_delay_, std::move(pkts));
+  }
+
+  if (!queue_.empty()) {
+    schedule_poll(now);
+  } else {
+    idle_ = true;
+  }
+}
+
+}  // namespace microscope::nf

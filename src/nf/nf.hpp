@@ -1,0 +1,162 @@
+// NF instance base: a single-core, run-to-completion, batched packet
+// processor with a bounded input queue — the paper's deployment model
+// ("each NF instance is a single process bound to a specific physical
+// core", DPDK batch size 32, rx ring 1024).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "common/packet.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "nf/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+
+/// Sentinel destination meaning "the NF dropped this packet on purpose"
+/// (e.g. a firewall drop rule). Distinct from queue-overflow drops.
+inline constexpr NodeId kDropNode = static_cast<NodeId>(-2);
+
+/// Decides the downstream node of a packet. Returning kDropNode discards.
+using Router = std::function<NodeId(const Packet&)>;
+
+/// Abstract network fabric the NF hands finished batches to; implemented by
+/// Topology. Delivery happens at `when` (tx time + propagation delay).
+class Network {
+ public:
+  virtual ~Network() = default;
+  virtual void deliver(NodeId from, NodeId to, TimeNs when,
+                       std::vector<Packet> batch) = 0;
+};
+
+struct NfConfig {
+  std::string name = "nf";
+  std::size_t queue_capacity = 1024;
+  std::size_t max_batch = 32;
+  /// Mean per-packet service time at 64 B (defines the peak rate r_f).
+  DurationNs base_service_ns = 500;
+  /// Fixed cost per batch poll (PCIe doorbells etc.).
+  DurationNs batch_overhead_ns = 0;
+  /// Natural-noise multiplicative jitter: lognormal sigma on each packet's
+  /// service time, mean-one. 0 disables.
+  double jitter_sigma = 0.0;
+  std::uint64_t seed = 1;
+  /// Record per-batch busy intervals (consumed by the NetMedic baseline's
+  /// CPU-usage metric).
+  bool record_busy_intervals = false;
+  /// Record the five-tuple of every transmitted packet (edge-of-graph NFs).
+  bool record_full_flow = false;
+};
+
+/// One ground-truth busy interval of the NF's core.
+struct BusyInterval {
+  TimeNs start;
+  TimeNs end;
+};
+
+/// Ground-truth log entry for a packet dropped at the input queue.
+struct DropEvent {
+  std::uint64_t uid;
+  TimeNs ts;
+  NodeId node;
+};
+
+class NfInstance {
+ public:
+  NfInstance(sim::Simulator& sim, NodeId id, NfConfig cfg,
+             collector::Collector* collector);
+  virtual ~NfInstance() = default;
+
+  NfInstance(const NfInstance&) = delete;
+  NfInstance& operator=(const NfInstance&) = delete;
+
+  NodeId id() const { return id_; }
+  const NfConfig& config() const { return cfg_; }
+
+  void set_network(Network* net) { network_ = net; }
+  void set_router(Router r) { router_ = std::move(r); }
+  void set_prop_delay(DurationNs d) { prop_delay_ = d; }
+  void set_drop_log(std::vector<DropEvent>* log) { drop_log_ = log; }
+
+  /// Deliver a packet into the input queue at the current sim time.
+  void enqueue(const Packet& p);
+
+  /// Steal the core for `len` ns starting now (interrupt / context switch).
+  /// Overlapping pauses extend each other.
+  void pause(DurationNs len);
+
+  /// Nominal peak processing rate r_f with this configuration (packets/ns),
+  /// i.e. the drain rate of a saturated queue with no interference at the
+  /// evaluation packet size (64 B). Subclasses with extra per-packet costs
+  /// override this. The paper instead measures r_f by offline stress
+  /// testing; see nf/calibrate.hpp for the measured equivalent.
+  virtual RatePerNs peak_rate() const;
+
+  // --- statistics (ground truth; used by tests, metrics export, eval) ---
+  std::uint64_t packets_processed() const { return processed_; }
+  std::uint64_t input_drops() const { return queue_.drops(); }
+  std::uint64_t policy_drops() const { return policy_drops_; }
+  DurationNs busy_ns() const { return busy_accum_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+  const std::vector<BusyInterval>& busy_intervals() const {
+    return busy_intervals_;
+  }
+  const std::vector<BusyInterval>& pause_intervals() const {
+    return pause_intervals_;
+  }
+
+ protected:
+  /// Per-packet service time (called at batch start). Subclasses add
+  /// type-specific costs; the base applies jitter around base_service_ns.
+  virtual DurationNs service_ns(const Packet& p);
+
+  /// Mutate the packet (address rewrite, encapsulation, ...). Called at
+  /// batch completion just before routing.
+  virtual void process(Packet& p);
+
+  /// Choose a downstream node. Default delegates to the configured Router.
+  virtual NodeId route(const Packet& p);
+
+  /// Mean-one lognormal jitter factor (1.0 when jitter disabled).
+  double jitter();
+
+  sim::Simulator& sim() { return *sim_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  void schedule_poll(TimeNs t);
+  void poll();
+  void complete();
+
+  sim::Simulator* sim_;
+  NodeId id_;
+  NfConfig cfg_;
+  collector::Collector* collector_;
+  Network* network_{nullptr};
+  Router router_;
+  DurationNs prop_delay_{1000};
+
+  PacketQueue queue_;
+  Rng rng_;
+
+  bool idle_{true};
+  TimeNs pause_until_{0};
+  TimeNs batch_finish_{0};
+  TimeNs batch_start_{0};
+  std::vector<Packet> inflight_;
+
+  std::uint64_t processed_{0};
+  std::uint64_t policy_drops_{0};
+  DurationNs busy_accum_{0};
+  std::vector<BusyInterval> busy_intervals_;
+  std::vector<BusyInterval> pause_intervals_;
+  std::vector<DropEvent>* drop_log_{nullptr};
+};
+
+}  // namespace microscope::nf

@@ -1,0 +1,200 @@
+#include "nf/nf_types.hpp"
+
+#include <algorithm>
+
+namespace microscope::nf {
+
+// ---------------------------------------------------------------- Nat ----
+
+Nat::Nat(sim::Simulator& sim, NodeId id, NfConfig cfg,
+         collector::Collector* collector, std::uint32_t public_ip)
+    : NfInstance(sim, id, std::move(cfg), collector), public_ip_(public_ip) {}
+
+FiveTuple Nat::translate(FiveTuple flow, std::uint32_t public_ip) {
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(1024 + flow_hash(flow) % 64512);
+  flow.src_ip = public_ip;
+  flow.src_port = port;
+  return flow;
+}
+
+void Nat::process(Packet& p) {
+  const FiveTuple translated = translate(p.flow, public_ip_);
+  port_map_.try_emplace(p.flow, translated.src_port);
+  p.flow = translated;
+}
+
+// -------------------------------------------------------- FlowMatcher ----
+
+bool FlowMatcher::matches(const FiveTuple& ft) const {
+  if (!src.contains(ft.src_ip) || !dst.contains(ft.dst_ip)) return false;
+  if (ft.src_port < src_port_lo || ft.src_port > src_port_hi) return false;
+  if (ft.dst_port < dst_port_lo || ft.dst_port > dst_port_hi) return false;
+  if (proto && *proto != ft.proto) return false;
+  return true;
+}
+
+// ----------------------------------------------------------- Firewall ----
+
+Firewall::Firewall(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                   collector::Collector* collector, std::vector<FwRule> rules,
+                   DurationNs per_rule_ns)
+    : NfInstance(sim, id, std::move(cfg), collector),
+      rules_(std::move(rules)),
+      per_rule_ns_(per_rule_ns) {}
+
+FwAction Firewall::action_of(const FiveTuple& ft) const {
+  for (const FwRule& r : rules_) {
+    if (r.match.matches(ft)) return r.action;
+  }
+  return FwAction::kToVpn;
+}
+
+DurationNs Firewall::service_ns(const Packet& p) {
+  if (bug_ && bug_->match.matches(p.flow)) {
+    // The injected bug: these flows are processed at a crawl (paper §6.2
+    // injects 0.05 Mpps). Jitter still applies multiplicatively.
+    const double t = static_cast<double>(bug_->slow_service_ns) * jitter();
+    return std::max<DurationNs>(1, static_cast<DurationNs>(t));
+  }
+  // Linear rule scan cost on top of the base cost.
+  std::size_t scanned = rules_.size();
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].match.matches(p.flow)) {
+      scanned = i + 1;
+      break;
+    }
+  }
+  const double t =
+      (static_cast<double>(config().base_service_ns) +
+       static_cast<double>(per_rule_ns_) * static_cast<double>(scanned)) *
+      jitter();
+  return std::max<DurationNs>(1, static_cast<DurationNs>(t));
+}
+
+RatePerNs Firewall::peak_rate() const {
+  const double per_pkt =
+      static_cast<double>(config().base_service_ns) +
+      static_cast<double>(per_rule_ns_) * static_cast<double>(rules_.size());
+  const double per_batch = static_cast<double>(config().batch_overhead_ns) +
+                           static_cast<double>(config().max_batch) * per_pkt;
+  return RatePerNs{static_cast<double>(config().max_batch) / per_batch};
+}
+
+NodeId Firewall::route(const Packet& p) {
+  switch (action_of(p.flow)) {
+    case FwAction::kToMonitor:
+      if (!monitor_router_)
+        throw std::logic_error(config().name + ": no monitor router");
+      return monitor_router_(p);
+    case FwAction::kToVpn:
+      if (!vpn_router_)
+        throw std::logic_error(config().name + ": no vpn router");
+      return vpn_router_(p);
+    case FwAction::kDrop:
+      return kDropNode;
+  }
+  return kDropNode;
+}
+
+// ----------------------------------------------------------- SwitchNf ----
+
+SwitchNf::SwitchNf(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                   collector::Collector* collector)
+    : NfInstance(sim, id, std::move(cfg), collector) {}
+
+// ------------------------------------------------------ RateLimiterNf ----
+
+RateLimiterNf::RateLimiterNf(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                             collector::Collector* collector,
+                             double rate_mpps, std::size_t bucket_depth)
+    : NfInstance(sim, id, std::move(cfg), collector),
+      pace_gap_ns_(static_cast<DurationNs>(1e3 / rate_mpps)),
+      bucket_depth_(std::max<std::size_t>(1, bucket_depth)),
+      tokens_(bucket_depth_) {
+  if (rate_mpps <= 0) throw std::invalid_argument("rate limiter: rate <= 0");
+}
+
+DurationNs RateLimiterNf::service_ns(const Packet& p) {
+  // Refill tokens for the time elapsed since the last packet.
+  const TimeNs now = sim().now();
+  if (now > last_refill_) {
+    const auto earned =
+        static_cast<std::size_t>((now - last_refill_) / pace_gap_ns_);
+    tokens_ = std::min(bucket_depth_, tokens_ + earned);
+    if (earned > 0) last_refill_ = now;
+  }
+  const DurationNs base = NfInstance::service_ns(p);
+  if (tokens_ > 0) {
+    --tokens_;
+    return base;
+  }
+  // No token: the packet waits one pacing gap (shaping).
+  return std::max(base, pace_gap_ns_);
+}
+
+RatePerNs RateLimiterNf::peak_rate() const {
+  const RatePerNs nominal = NfInstance::peak_rate();
+  const double limit = 1.0 / static_cast<double>(pace_gap_ns_);
+  return RatePerNs{std::min(nominal.pkts_per_ns, limit)};
+}
+
+// ----------------------------------------------------- LoadBalancerNf ----
+
+LoadBalancerNf::LoadBalancerNf(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                               collector::Collector* collector,
+                               std::vector<NodeId> targets)
+    : NfInstance(sim, id, std::move(cfg), collector),
+      targets_(std::move(targets)) {
+  if (targets_.empty())
+    throw std::invalid_argument("LoadBalancerNf: no targets");
+}
+
+NodeId LoadBalancerNf::route(const Packet&) {
+  const NodeId t = targets_[next_];
+  next_ = (next_ + 1) % targets_.size();
+  return t;
+}
+
+// ------------------------------------------------------------ Monitor ----
+
+Monitor::Monitor(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                 collector::Collector* collector)
+    : NfInstance(sim, id, std::move(cfg), collector) {}
+
+void Monitor::process(Packet& p) {
+  FlowStats& s = counters_[p.flow];
+  ++s.packets;
+  s.bytes += p.size_bytes;
+}
+
+// ---------------------------------------------------------------- Vpn ----
+
+Vpn::Vpn(sim::Simulator& sim, NodeId id, NfConfig cfg,
+         collector::Collector* collector, DurationNs per_byte_ns,
+         std::uint16_t encap_bytes)
+    : NfInstance(sim, id, std::move(cfg), collector),
+      per_byte_ns_(per_byte_ns),
+      encap_bytes_(encap_bytes) {}
+
+DurationNs Vpn::service_ns(const Packet& p) {
+  const double t = (static_cast<double>(config().base_service_ns) +
+                    static_cast<double>(per_byte_ns_) *
+                        static_cast<double>(p.size_bytes)) *
+                   jitter();
+  return std::max<DurationNs>(1, static_cast<DurationNs>(t));
+}
+
+void Vpn::process(Packet& p) {
+  p.size_bytes = static_cast<std::uint16_t>(p.size_bytes + encap_bytes_);
+}
+
+RatePerNs Vpn::peak_rate() const {
+  const double per_pkt = static_cast<double>(config().base_service_ns) +
+                         static_cast<double>(per_byte_ns_) * 64.0;
+  const double per_batch = static_cast<double>(config().batch_overhead_ns) +
+                           static_cast<double>(config().max_batch) * per_pkt;
+  return RatePerNs{static_cast<double>(config().max_batch) / per_batch};
+}
+
+}  // namespace microscope::nf

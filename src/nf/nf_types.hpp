@@ -1,0 +1,199 @@
+// Concrete NF implementations matching the paper's evaluation chain:
+// NAT, Firewall (with an injectable processing bug), Monitor, VPN.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/prefix.hpp"
+#include "nf/nf.hpp"
+
+namespace microscope::nf {
+
+/// Source NAT: rewrites the source address to a public IP and the source
+/// port to a deterministically allocated port; keeps the translation table.
+///
+/// Port allocation is a pure function of the pre-NAT flow (hash-based), so
+/// downstream flow-hash load balancing is predictable from the original
+/// five-tuple — which the evaluation uses to aim bug-trigger flows at a
+/// chosen firewall instance.
+class Nat : public NfInstance {
+ public:
+  Nat(sim::Simulator& sim, NodeId id, NfConfig cfg,
+      collector::Collector* collector, std::uint32_t public_ip);
+
+  std::size_t table_size() const { return port_map_.size(); }
+
+  /// The five-tuple `flow` becomes after this NAT's rewrite.
+  static FiveTuple translate(FiveTuple flow, std::uint32_t public_ip);
+
+ protected:
+  void process(Packet& p) override;
+
+ private:
+  std::uint32_t public_ip_;
+  std::unordered_map<FiveTuple, std::uint16_t, FiveTupleHash> port_map_;
+};
+
+/// Matches a packet against a five-tuple template with prefixes/ranges.
+struct FlowMatcher {
+  Ipv4Prefix src{Ipv4Prefix::any()};
+  Ipv4Prefix dst{Ipv4Prefix::any()};
+  std::uint16_t src_port_lo{0};
+  std::uint16_t src_port_hi{65535};
+  std::uint16_t dst_port_lo{0};
+  std::uint16_t dst_port_hi{65535};
+  std::optional<std::uint8_t> proto{};
+
+  bool matches(const FiveTuple& ft) const;
+};
+
+enum class FwAction : std::uint8_t { kToMonitor, kToVpn, kDrop };
+
+struct FwRule {
+  FlowMatcher match;
+  FwAction action{FwAction::kToMonitor};
+};
+
+/// The paper's injectable NF bug (§6.2): flows matching `match` are
+/// processed at `slow_service_ns` per packet (0.05 Mpps => 20 us).
+struct FirewallBug {
+  FlowMatcher match;
+  DurationNs slow_service_ns{20'000};
+};
+
+/// Linear-scan firewall. Rule-matched flows detour via a Monitor; others go
+/// straight to a VPN (paper Fig. 10). Per-rule scan cost models
+/// configuration-size-dependent processing.
+class Firewall : public NfInstance {
+ public:
+  Firewall(sim::Simulator& sim, NodeId id, NfConfig cfg,
+           collector::Collector* collector, std::vector<FwRule> rules,
+           DurationNs per_rule_ns = 0);
+
+  /// Routers for the two forwarding outcomes (set by the topology builder).
+  void set_monitor_router(Router r) { monitor_router_ = std::move(r); }
+  void set_vpn_router(Router r) { vpn_router_ = std::move(r); }
+
+  void set_bug(FirewallBug bug) { bug_ = bug; }
+  void clear_bug() { bug_.reset(); }
+  bool has_bug() const { return bug_.has_value(); }
+
+  /// Result of the rule scan for a packet (first match wins; default VPN).
+  FwAction action_of(const FiveTuple& ft) const;
+
+  /// Accounts for the worst-case full rule scan.
+  RatePerNs peak_rate() const override;
+
+ protected:
+  DurationNs service_ns(const Packet& p) override;
+  NodeId route(const Packet& p) override;
+
+ private:
+  std::vector<FwRule> rules_;
+  DurationNs per_rule_ns_;
+  std::optional<FirewallBug> bug_;
+  Router monitor_router_;
+  Router vpn_router_;
+};
+
+/// Per-flow packet/byte counter.
+class Monitor : public NfInstance {
+ public:
+  struct FlowStats {
+    std::uint64_t packets{0};
+    std::uint64_t bytes{0};
+  };
+
+  Monitor(sim::Simulator& sim, NodeId id, NfConfig cfg,
+          collector::Collector* collector);
+
+  const std::unordered_map<FiveTuple, FlowStats, FiveTupleHash>& stats() const {
+    return counters_;
+  }
+
+ protected:
+  void process(Packet& p) override;
+
+ private:
+  std::unordered_map<FiveTuple, FlowStats, FiveTupleHash> counters_;
+};
+
+/// A switch port modelled as an NF (paper footnote 1: "we can easily treat
+/// the switches as another NF in the system for diagnosis"). Forwarding
+/// only, with a small fixed per-packet cost; routing comes from the
+/// configured Router like any other node.
+class SwitchNf : public NfInstance {
+ public:
+  SwitchNf(sim::Simulator& sim, NodeId id, NfConfig cfg,
+           collector::Collector* collector);
+};
+
+/// Token-bucket rate limiter / shaper.
+///
+/// Deliberately *increases* the timespan of bursty input (it paces packets
+/// out at the configured rate), which exercises the propagation analysis's
+/// timespan-increase handling (§4.2: such an NF must receive a zero score
+/// and cancel upstream reductions) on a realistic NF rather than a
+/// synthetic vector.
+class RateLimiterNf : public NfInstance {
+ public:
+  RateLimiterNf(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                collector::Collector* collector, double rate_mpps,
+                std::size_t bucket_depth = 32);
+
+  /// The shaping rate bounds the peak rate.
+  RatePerNs peak_rate() const override;
+
+ protected:
+  /// Shaping is modelled as service time: a packet may not complete before
+  /// its token is available, so its effective service is the pacing gap.
+  DurationNs service_ns(const Packet& p) override;
+
+ private:
+  DurationNs pace_gap_ns_;
+  std::size_t bucket_depth_;
+  std::size_t tokens_;
+  TimeNs last_refill_{0};
+};
+
+/// Per-packet round-robin load balancer (no flow affinity). The paper notes
+/// path-based candidate pruning fails for NFs that assign paths
+/// dynamically; our reconstruction survives because the collector's tx
+/// records carry the actual output queue — this NF exists to exercise that.
+class LoadBalancerNf : public NfInstance {
+ public:
+  LoadBalancerNf(sim::Simulator& sim, NodeId id, NfConfig cfg,
+                 collector::Collector* collector, std::vector<NodeId> targets);
+
+ protected:
+  NodeId route(const Packet& p) override;
+
+ private:
+  std::vector<NodeId> targets_;
+  std::size_t next_{0};
+};
+
+/// Encrypting tunnel endpoint: per-byte cost plus encapsulation overhead.
+class Vpn : public NfInstance {
+ public:
+  Vpn(sim::Simulator& sim, NodeId id, NfConfig cfg,
+      collector::Collector* collector, DurationNs per_byte_ns = 2,
+      std::uint16_t encap_bytes = 40);
+
+  /// Accounts for the per-byte encryption cost at 64 B packets.
+  RatePerNs peak_rate() const override;
+
+ protected:
+  DurationNs service_ns(const Packet& p) override;
+  void process(Packet& p) override;
+
+ private:
+  DurationNs per_byte_ns_;
+  std::uint16_t encap_bytes_;
+};
+
+}  // namespace microscope::nf

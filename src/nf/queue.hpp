@@ -1,0 +1,52 @@
+// Bounded FIFO input queue of an NF, with drop accounting.
+//
+// Models a DPDK rx ring: capacity 1024 by default, batched dequeues of up
+// to 32 packets (the values the paper's implementation section cites).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/packet.hpp"
+
+namespace microscope::nf {
+
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Push a packet; returns false (and counts a drop) when full.
+  bool push(const Packet& p) {
+    if (q_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    q_.push_back(p);
+    return true;
+  }
+
+  /// Dequeue up to `max_n` packets in FIFO order.
+  std::vector<Packet> pop_batch(std::size_t max_n) {
+    const std::size_t n = std::min(max_n, q_.size());
+    std::vector<Packet> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(q_.front());
+      q_.pop_front();
+    }
+    return out;
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+  std::uint64_t drops_{0};
+};
+
+}  // namespace microscope::nf

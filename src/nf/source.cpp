@@ -1,0 +1,54 @@
+#include "nf/source.hpp"
+
+#include <stdexcept>
+
+namespace microscope::nf {
+namespace {
+
+/// Packets emitted per scheduler event. Within a chunk, packets keep their
+/// exact trace timestamps; chunking only bounds event-queue size.
+constexpr std::size_t kChunk = 256;
+
+}  // namespace
+
+TrafficSource::TrafficSource(sim::Simulator& sim, NodeId id, std::string name,
+                             collector::Collector* collector)
+    : sim_(&sim), id_(id), name_(std::move(name)), collector_(collector) {
+  if (collector_) collector_->register_node(id_, /*full_flow=*/true);
+}
+
+void TrafficSource::load(std::vector<SourcePacket> trace) {
+  if (!trace_.empty()) throw std::logic_error("TrafficSource: load twice");
+  trace_ = std::move(trace);
+  if (trace_.empty()) return;
+  const TimeNs first = trace_.front().t;
+  sim_->schedule_at(first, [this] { emit_from(0); });
+}
+
+void TrafficSource::emit_from(std::size_t idx) {
+  if (!router_) throw std::logic_error("TrafficSource: no router");
+  const std::size_t end = std::min(idx + kChunk, trace_.size());
+  for (std::size_t i = idx; i < end; ++i) {
+    const SourcePacket& sp = trace_[i];
+    Packet p;
+    p.uid = (static_cast<std::uint64_t>(id_) << 40) | i;
+    p.flow = sp.flow;
+    p.ipid = next_ipid_++;
+    p.size_bytes = sp.size_bytes;
+    p.source_time = sp.t;
+    p.injection_tag = sp.tag;
+    const NodeId dest = router_(p);
+    if (collector_) {
+      collector_->on_tx(id_, dest, sp.t, std::span<const Packet>(&p, 1));
+    }
+    if (network_) {
+      network_->deliver(id_, dest, sp.t + prop_delay_, {p});
+    }
+    ++emitted_;
+  }
+  if (end < trace_.size()) {
+    sim_->schedule_at(trace_[end].t, [this, end] { emit_from(end); });
+  }
+}
+
+}  // namespace microscope::nf

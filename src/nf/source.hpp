@@ -1,0 +1,53 @@
+// Traffic source node: replays a SourcePacket trace into the topology.
+//
+// Plays the role of MoonGen in the paper's testbed. The source is a node in
+// the collector's view: it records a tx entry (with full five-tuple) for
+// every packet it emits — equivalent to knowing the generated trace, which
+// the paper's timespan analysis assumes ("trace back to the source").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "common/packet.hpp"
+#include "nf/nf.hpp"
+#include "nf/traffic.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+
+class TrafficSource {
+ public:
+  TrafficSource(sim::Simulator& sim, NodeId id, std::string name,
+                collector::Collector* collector);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  void set_network(Network* net) { network_ = net; }
+  void set_router(Router r) { router_ = std::move(r); }
+  void set_prop_delay(DurationNs d) { prop_delay_ = d; }
+
+  /// Adopt the trace and schedule its replay. Call once, before running.
+  void load(std::vector<SourcePacket> trace);
+
+  std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  void emit_from(std::size_t idx);
+
+  sim::Simulator* sim_;
+  NodeId id_;
+  std::string name_;
+  collector::Collector* collector_;
+  Network* network_{nullptr};
+  Router router_;
+  DurationNs prop_delay_{1000};
+
+  std::vector<SourcePacket> trace_;
+  std::uint16_t next_ipid_{0};
+  std::uint64_t emitted_{0};
+};
+
+}  // namespace microscope::nf

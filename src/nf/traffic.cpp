@@ -1,0 +1,144 @@
+#include "nf/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace microscope::nf {
+
+std::vector<SourcePacket> generate_caida_like(const CaidaLikeOptions& opts) {
+  if (opts.rate_mpps <= 0) throw std::invalid_argument("rate_mpps <= 0");
+  if (opts.num_flows == 0) throw std::invalid_argument("num_flows == 0");
+
+  Rng rng(opts.seed);
+  const std::uint32_t src_net =
+      opts.src_net ? opts.src_net : make_ipv4(10, 0, 0, 0);
+  const std::uint32_t dst_net =
+      opts.dst_net ? opts.dst_net : make_ipv4(172, 16, 0, 0);
+
+  // Build the flow population.
+  std::vector<FiveTuple> flows(opts.num_flows);
+  for (std::size_t i = 0; i < opts.num_flows; ++i) {
+    FiveTuple& ft = flows[i];
+    ft.src_ip = src_net + static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+    ft.dst_ip = dst_net + static_cast<std::uint32_t>(rng.uniform_u64(1 << 16));
+    ft.src_port = static_cast<std::uint16_t>(
+        opts.min_port + rng.uniform_u64(65536 - opts.min_port));
+    // Web-like port mix: most traffic to a handful of service ports.
+    static constexpr std::uint16_t kPopular[] = {80, 443, 53, 8080, 22, 9339};
+    ft.dst_port = rng.bernoulli(0.7)
+                      ? kPopular[rng.uniform_u64(std::size(kPopular))]
+                      : static_cast<std::uint16_t>(
+                            opts.min_port +
+                            rng.uniform_u64(65536 - opts.min_port));
+    ft.proto = static_cast<std::uint8_t>(
+        rng.bernoulli(0.85) ? IpProto::kTcp : IpProto::kUdp);
+  }
+  ZipfSampler zipf(opts.num_flows, opts.zipf_skew);
+
+  const double mean_gap_ns = 1e3 / opts.rate_mpps;  // ns between packets
+  std::vector<SourcePacket> trace;
+  trace.reserve(static_cast<std::size_t>(
+      static_cast<double>(opts.duration) / mean_gap_ns * 1.1));
+
+  // Ornstein-Uhlenbeck modulation of the instantaneous rate: mean-reverting
+  // multiplicative factor around 1.0, updated every modulation step.
+  const double mod_amp = std::max(0.0, std::min(0.9, opts.rate_modulation));
+  const double mod_step_ns =
+      std::max<double>(1e5, static_cast<double>(opts.modulation_timescale) / 16);
+  const double theta = mod_step_ns / static_cast<double>(
+                                         std::max<DurationNs>(1, opts.modulation_timescale));
+  double mod = 0.0;          // log-ish deviation from nominal
+  double next_mod_update = 0.0;
+
+  double t = 0.0;
+  while (t < static_cast<double>(opts.duration)) {
+    if (mod_amp > 0.0 && t >= next_mod_update) {
+      mod += -theta * mod + mod_amp * std::sqrt(2.0 * theta) *
+                                rng.normal(0.0, 1.0);
+      mod = std::max(-0.9, std::min(2.0, mod));
+      next_mod_update = t + mod_step_ns;
+    }
+    const FiveTuple& flow = flows[zipf.sample(rng)];
+    // Flowlet train: a geometric number of packets back-to-back.
+    std::size_t train = 1;
+    if (opts.mean_train_len > 1.0) {
+      const double p_cont = 1.0 - 1.0 / opts.mean_train_len;
+      while (rng.bernoulli(p_cont) && train < 64) ++train;
+    }
+    for (std::size_t k = 0; k < train && t < static_cast<double>(opts.duration);
+         ++k) {
+      SourcePacket sp;
+      sp.t = static_cast<TimeNs>(t);
+      sp.flow = flow;
+      sp.size_bytes = opts.packet_size;
+      trace.push_back(sp);
+      // Keep the aggregate rate: every emitted packet advances time by an
+      // exponential gap whose mean follows the modulated rate.
+      t += rng.exponential(mean_gap_ns / (1.0 + mod));
+    }
+  }
+  return trace;
+}
+
+std::vector<SourcePacket> generate_constant_rate(FiveTuple flow, TimeNs start,
+                                                 DurationNs duration,
+                                                 double rate_mpps,
+                                                 std::uint16_t size_bytes,
+                                                 std::uint32_t tag) {
+  if (rate_mpps <= 0) throw std::invalid_argument("rate_mpps <= 0");
+  const double gap_ns = 1e3 / rate_mpps;
+  std::vector<SourcePacket> trace;
+  trace.reserve(static_cast<std::size_t>(
+      static_cast<double>(duration) / gap_ns + 1.0));
+  for (double t = 0.0; t < static_cast<double>(duration); t += gap_ns) {
+    SourcePacket sp;
+    sp.t = start + static_cast<TimeNs>(t);
+    sp.flow = flow;
+    sp.size_bytes = size_bytes;
+    sp.tag = tag;
+    trace.push_back(sp);
+  }
+  return trace;
+}
+
+TimeNs inject_burst(std::vector<SourcePacket>& trace, const FiveTuple& flow,
+                    TimeNs t0, std::size_t count, DurationNs gap_ns,
+                    std::uint32_t tag) {
+  std::vector<SourcePacket> burst;
+  burst.reserve(count);
+  TimeNs t = t0;
+  for (std::size_t i = 0; i < count; ++i) {
+    SourcePacket sp;
+    sp.t = t;
+    sp.flow = flow;
+    sp.tag = tag;
+    burst.push_back(sp);
+    t += gap_ns;
+  }
+  const TimeNs end = burst.empty() ? t0 : burst.back().t;
+  trace = merge_traces(std::move(trace), std::move(burst));
+  return end;
+}
+
+std::vector<SourcePacket> merge_traces(std::vector<SourcePacket> a,
+                                       std::vector<SourcePacket> b) {
+  std::vector<SourcePacket> out;
+  out.resize(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin(),
+             [](const SourcePacket& x, const SourcePacket& y) {
+               return x.t < y.t;
+             });
+  return out;
+}
+
+double measured_rate_mpps(const std::vector<SourcePacket>& trace) {
+  if (trace.size() < 2) return 0.0;
+  const auto span = static_cast<double>(trace.back().t - trace.front().t);
+  if (span <= 0) return 0.0;
+  return static_cast<double>(trace.size() - 1) / span * 1e3;
+}
+
+}  // namespace microscope::nf

@@ -1,0 +1,32 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace microscope::sim {
+
+void EventQueue::schedule(TimeNs t, EventFn fn) {
+  heap_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+TimeNs EventQueue::next_time() const {
+  return heap_.empty() ? kTimeNever : heap_.top().t;
+}
+
+std::pair<TimeNs, EventFn> EventQueue::pop_next() {
+  if (heap_.empty())
+    throw std::logic_error("EventQueue::pop_next on empty queue");
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the (small) function handle instead.
+  Entry e = heap_.top();
+  heap_.pop();
+  return {e.t, std::move(e.fn)};
+}
+
+TimeNs EventQueue::run_next() {
+  auto [t, fn] = pop_next();
+  fn();
+  return t;
+}
+
+}  // namespace microscope::sim

@@ -1,0 +1,53 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events with equal timestamps fire in insertion order (stable), which keeps
+// runs deterministic and makes FIFO reasoning in tests exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace microscope::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t` (must be >= the last popped time).
+  void schedule(TimeNs t, EventFn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; kTimeNever when empty.
+  TimeNs next_time() const;
+
+  /// Pop the earliest event without running it.
+  std::pair<TimeNs, EventFn> pop_next();
+
+  /// Pop and run the earliest event; returns its timestamp. Note: callers
+  /// that expose a clock must advance it BEFORE the handler runs — use
+  /// pop_next for that (see Simulator).
+  TimeNs run_next();
+
+ private:
+  struct Entry {
+    TimeNs t;
+    std::uint64_t seq;  // tie-break: earlier insertion first
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace microscope::sim

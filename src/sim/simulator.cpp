@@ -1,0 +1,40 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace microscope::sim {
+
+void Simulator::schedule_at(TimeNs t, EventFn fn) {
+  if (t < now_) throw std::logic_error("Simulator: scheduling into the past");
+  queue_.schedule(t, std::move(fn));
+}
+
+void Simulator::schedule_after(DurationNs delay, EventFn fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Simulator::run_until(TimeNs end_time) {
+  std::uint64_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= end_time) {
+    auto [t, fn] = queue_.pop_next();
+    now_ = t;  // the handler must observe the event's own timestamp
+    fn();
+    ++executed;
+  }
+  if (now_ < end_time) now_ = end_time;
+  return executed;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t executed = 0;
+  while (!queue_.empty()) {
+    auto [t, fn] = queue_.pop_next();
+    now_ = t;
+    fn();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace microscope::sim

@@ -1,0 +1,32 @@
+// Discrete-event simulation driver.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace microscope::sim {
+
+/// Owns the simulated clock and the event queue; components schedule events
+/// against it and the driver advances time until an end condition.
+class Simulator {
+ public:
+  TimeNs now() const { return now_; }
+
+  void schedule_at(TimeNs t, EventFn fn);
+  void schedule_after(DurationNs delay, EventFn fn);
+
+  /// Run until the event queue drains or the clock passes `end_time`.
+  /// Returns the number of events executed.
+  std::uint64_t run_until(TimeNs end_time);
+
+  /// Run until the queue is fully drained.
+  std::uint64_t run_all();
+
+ private:
+  TimeNs now_{0};
+  EventQueue queue_;
+};
+
+}  // namespace microscope::sim

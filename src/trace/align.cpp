@@ -1,0 +1,253 @@
+#include "trace/align.hpp"
+
+#include <algorithm>
+
+namespace microscope::trace {
+namespace {
+
+using collector::BatchRecord;
+using collector::NodeTrace;
+
+/// Expand batch records into a per-entry batch-index array.
+std::vector<std::uint32_t> batch_of_entries(
+    const std::vector<BatchRecord>& batches, std::size_t entry_count) {
+  std::vector<std::uint32_t> out(entry_count, kNoEntry);
+  for (std::uint32_t b = 0; b < batches.size(); ++b) {
+    const BatchRecord& rec = batches[b];
+    for (std::uint32_t i = 0; i < rec.count; ++i) out[rec.begin + i] = b;
+  }
+  return out;
+}
+
+/// One upstream packet stream into a given node: tx entry indices at the
+/// upstream node whose batch peer is the downstream node, in FIFO order.
+struct Stream {
+  NodeId up;
+  std::vector<std::uint32_t> entries;
+  std::size_t head{0};
+
+  bool exhausted() const { return head >= entries.size(); }
+  std::uint32_t head_entry() const { return entries[head]; }
+};
+
+Stream build_stream(const NodeTrace& up_trace, NodeId up, NodeId down) {
+  Stream s;
+  s.up = up;
+  for (const BatchRecord& rec : up_trace.tx_batches) {
+    if (rec.peer != down) continue;
+    for (std::uint32_t i = 0; i < rec.count; ++i) s.entries.push_back(rec.begin + i);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<NodeAlignment> align_all(const collector::Collector& col,
+                                     const GraphView& graph,
+                                     const AlignOptions& opts,
+                                     AlignStats* stats) {
+  AlignStats local;
+  const std::size_t n = graph.node_count();
+  std::vector<NodeAlignment> out(n);
+
+  // Pass 0: entry->batch maps and downstream-drop flags.
+  for (NodeId id = 0; id < n; ++id) {
+    if (graph.kinds[id] == NodeKind::kSink || !col.has_node(id)) continue;
+    const NodeTrace& t = col.node(id);
+    out[id].rx_batch_of = batch_of_entries(t.rx_batches, t.rx_ipids.size());
+    out[id].tx_batch_of = batch_of_entries(t.tx_batches, t.tx_ipids.size());
+    out[id].tx_dropped_downstream.assign(t.tx_ipids.size(), 0);
+    out[id].rx_origin.assign(t.rx_ipids.size(), TxRef{});
+    out[id].rx_to_tx.assign(t.rx_ipids.size(), kNoEntry);
+    out[id].tx_to_rx.assign(t.tx_ipids.size(), kNoEntry);
+  }
+
+  // Pass 1: link alignment (downstream rx entries <- upstream tx streams).
+  for (NodeId d = 0; d < n; ++d) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+    const NodeTrace& dt = col.node(d);
+    NodeAlignment& da = out[d];
+
+    std::vector<Stream> streams;
+    for (NodeId u : graph.upstreams[d]) {
+      if (!col.has_node(u)) continue;
+      streams.push_back(build_stream(col.node(u), u, d));
+    }
+
+    for (std::uint32_t j = 0; j < dt.rx_ipids.size(); ++j) {
+      const std::uint16_t ipid = dt.rx_ipids[j];
+      const TimeNs read_ts = dt.rx_batches[da.rx_batch_of[j]].ts;
+
+      // Candidate upstreams: head-of-line entries with the right IPID
+      // inside the delay bound (side channels 1-3). The ablation knobs
+      // disable the timing bound (side channel 2) or the head-of-line
+      // order discipline (side channel 3).
+      int best = -1;
+      TimeNs best_ts = kTimeNever;
+      std::size_t best_pos_no_order = 0;
+      int candidates = 0;
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        Stream& st = streams[s];
+        if (st.exhausted()) continue;
+        const NodeTrace& ut = col.node(st.up);
+        const std::size_t scan_end =
+            opts.use_order ? st.head + 1 : st.entries.size();
+        for (std::size_t k = st.head; k < scan_end; ++k) {
+          const std::uint32_t e = st.entries[k];
+          const TimeNs tx_ts = ut.tx_batches[out[st.up].tx_batch_of[e]].ts;
+          if (ut.tx_ipids[e] != ipid) continue;
+          if (opts.use_timing) {
+            if (tx_ts > read_ts + opts.slack) continue;
+            if (read_ts - tx_ts > opts.max_link_delay) continue;
+          }
+          ++candidates;
+          if (tx_ts < best_ts ||
+              (tx_ts == best_ts && best >= 0 && st.up < streams[best].up)) {
+            best = static_cast<int>(s);
+            best_ts = tx_ts;
+            best_pos_no_order = k;
+          }
+          break;  // first unconsumed match per stream
+        }
+      }
+      if (best >= 0 && !opts.use_order) {
+        // Without the order discipline we cannot infer drops from skips;
+        // just consume the matched entry (swap it out of the scan window).
+        Stream& st = streams[static_cast<std::size_t>(best)];
+        if (candidates > 1) ++local.link_ambiguous;
+        da.rx_origin[j] = TxRef{st.up, st.entries[best_pos_no_order]};
+        st.entries.erase(st.entries.begin() +
+                         static_cast<std::ptrdiff_t>(best_pos_no_order));
+        ++local.link_matched;
+        continue;
+      }
+      if (best >= 0) {
+        if (candidates > 1) ++local.link_ambiguous;
+        Stream& st = streams[static_cast<std::size_t>(best)];
+        da.rx_origin[j] = TxRef{st.up, st.head_entry()};
+        ++st.head;
+        ++local.link_matched;
+        continue;
+      }
+
+      if (!opts.use_order || !opts.use_timing) {
+        // Drop inference below needs both FIFO order and timing bounds.
+        ++local.link_unmatched;
+        continue;
+      }
+
+      // No head-of-line candidate. Per-link FIFO means that if this rx
+      // entry matches a *later* entry of some stream, every entry the
+      // match skips over was dropped at this node's input queue (it
+      // entered the queue earlier yet was never read). Scan ahead within
+      // the time bound and pick the match with the fewest skips.
+      std::size_t best_stream = streams.size();
+      std::size_t best_pos = 0;
+      std::size_t best_skips = static_cast<std::size_t>(-1);
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        Stream& st = streams[s];
+        const NodeTrace& ut = col.node(st.up);
+        for (std::size_t k = st.head; k < st.entries.size(); ++k) {
+          const std::uint32_t e = st.entries[k];
+          const TimeNs tx_ts = ut.tx_batches[out[st.up].tx_batch_of[e]].ts;
+          if (tx_ts > read_ts + opts.slack) break;  // not yet arrived
+          if (read_ts - tx_ts > opts.max_link_delay) continue;
+          if (ut.tx_ipids[e] != ipid) continue;
+          const std::size_t skips = k - st.head;
+          if (skips < best_skips) {
+            best_skips = skips;
+            best_stream = s;
+            best_pos = k;
+          }
+          break;  // first in-window match per stream is the FIFO-legal one
+        }
+      }
+      if (best_stream < streams.size()) {
+        Stream& st = streams[best_stream];
+        for (std::size_t k = st.head; k < best_pos; ++k) {
+          out[st.up].tx_dropped_downstream[st.entries[k]] = 1;
+          ++local.queue_drops_inferred;
+        }
+        da.rx_origin[j] = TxRef{st.up, st.entries[best_pos]};
+        st.head = best_pos + 1;
+        ++local.link_matched;
+        ++local.link_ambiguous;  // resolved beyond head-of-line
+        continue;
+      }
+      ++local.link_unmatched;
+    }
+
+    // Remaining unconsumed upstream entries: dropped if their deadline has
+    // passed relative to the node's last read (otherwise still in flight).
+    const TimeNs last_read =
+        dt.rx_batches.empty() ? 0 : dt.rx_batches.back().ts;
+    for (Stream& st : streams) {
+      for (; !st.exhausted(); ++st.head) {
+        const std::uint32_t e = st.head_entry();
+        const NodeTrace& ut = col.node(st.up);
+        const TimeNs tx_ts = ut.tx_batches[out[st.up].tx_batch_of[e]].ts;
+        if (last_read - tx_ts > opts.max_link_delay) {
+          out[st.up].tx_dropped_downstream[e] = 1;
+          ++local.queue_drops_inferred;
+        }
+      }
+    }
+  }
+
+  // Pass 2: internal alignment (rx entries -> this node's tx streams).
+  for (NodeId d = 0; d < n; ++d) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+    const NodeTrace& dt = col.node(d);
+    NodeAlignment& da = out[d];
+
+    // Output streams keyed by destination, discovered from tx batches.
+    std::vector<NodeId> dests;
+    for (const BatchRecord& rec : dt.tx_batches) {
+      if (std::find(dests.begin(), dests.end(), rec.peer) == dests.end())
+        dests.push_back(rec.peer);
+    }
+    std::vector<Stream> streams;
+    streams.reserve(dests.size());
+    for (NodeId dest : dests) streams.push_back(build_stream(dt, d, dest));
+
+    for (std::uint32_t i = 0; i < dt.rx_ipids.size(); ++i) {
+      const std::uint16_t ipid = dt.rx_ipids[i];
+      const TimeNs read_ts = dt.rx_batches[da.rx_batch_of[i]].ts;
+
+      int best = -1;
+      TimeNs best_ts = kTimeNever;
+      int candidates = 0;
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        Stream& st = streams[s];
+        if (st.exhausted()) continue;
+        const std::uint32_t e = st.head_entry();
+        const TimeNs tx_ts = dt.tx_batches[da.tx_batch_of[e]].ts;
+        if (dt.tx_ipids[e] != ipid) continue;
+        if (tx_ts + opts.slack < read_ts) continue;
+        if (tx_ts - read_ts > opts.max_nf_delay) continue;
+        ++candidates;
+        if (tx_ts < best_ts) {
+          best = static_cast<int>(s);
+          best_ts = tx_ts;
+        }
+      }
+      if (best >= 0) {
+        if (candidates > 1) ++local.internal_ambiguous;
+        Stream& st = streams[static_cast<std::size_t>(best)];
+        const std::uint32_t e = st.head_entry();
+        da.rx_to_tx[i] = e;
+        da.tx_to_rx[e] = i;
+        ++st.head;
+        ++local.internal_matched;
+      } else {
+        // The NF consumed the packet without emitting it: policy drop.
+        ++local.policy_drops_inferred;
+      }
+    }
+  }
+
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace microscope::trace

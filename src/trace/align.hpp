@@ -1,0 +1,93 @@
+// Record alignment: maps per-NF collector records of the same packet across
+// nodes despite 16-bit IPID collisions (paper §5).
+//
+// Two alignment problems are solved per node:
+//
+//  * Link alignment — which upstream tx entry does each rx entry of this
+//    node correspond to? Uses the paper's three side channels:
+//      (1) paths: only declared upstream neighbours are candidates,
+//      (2) timing: a candidate's tx timestamp must lie within the delay
+//          bound of the rx read timestamp,
+//      (3) order: per-link FIFO is preserved, so only each upstream
+//          stream's head-of-line entry is ever a candidate (Fig. 9).
+//    Upstream entries whose delivery deadline passes unmatched are flagged
+//    as dropped at this node's input queue.
+//
+//  * Internal alignment — which tx entry did each rx entry of this node
+//    become after processing? NFs are FIFO run-to-completion, so the rx
+//    sequence maps order-preservingly onto the per-destination tx streams;
+//    rx entries that match no stream were dropped by NF policy.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "common/time.hpp"
+#include "trace/graph.hpp"
+
+namespace microscope::trace {
+
+inline constexpr std::uint32_t kNoEntry =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Reference to a tx-side packet entry at a node.
+struct TxRef {
+  NodeId node{kInvalidNode};
+  std::uint32_t idx{kNoEntry};
+  bool valid() const { return node != kInvalidNode && idx != kNoEntry; }
+};
+
+struct AlignOptions {
+  /// Upper bound on (read time − upstream tx time): propagation plus the
+  /// worst-case queue wait. Entries older than this are declared dropped.
+  DurationNs max_link_delay = 200_ms;
+  /// Upper bound on (tx time − rx read time) inside one NF: the worst-case
+  /// batch service time.
+  DurationNs max_nf_delay = 50_ms;
+  /// Slack allowed for timestamp noise when comparing clocks.
+  DurationNs slack = 2_us;
+
+  // --- ablation knobs (paper §5 lists three side channels; these switch
+  // the second and third off to measure their contribution) ---
+  /// Apply the timing bounds above when selecting candidates.
+  bool use_timing = true;
+  /// Enforce per-link FIFO order (head-of-line matching). When off, any
+  /// unconsumed entry with the right IPID is a candidate (earliest tx wins).
+  bool use_order = true;
+};
+
+/// Per-node alignment output.
+struct NodeAlignment {
+  // Link alignment (rx side).
+  std::vector<TxRef> rx_origin;            // per rx entry
+  // Internal alignment.
+  std::vector<std::uint32_t> rx_to_tx;     // per rx entry; kNoEntry = policy drop
+  std::vector<std::uint32_t> tx_to_rx;     // per tx entry; kNoEntry for sources
+  // Downstream fate of tx entries (filled while aligning the downstream
+  // node): true = dropped at the downstream input queue.
+  std::vector<std::uint8_t> tx_dropped_downstream;
+  // Entry -> batch index maps (for timestamp lookup).
+  std::vector<std::uint32_t> rx_batch_of;
+  std::vector<std::uint32_t> tx_batch_of;
+};
+
+struct AlignStats {
+  std::uint64_t link_matched{0};
+  std::uint64_t link_ambiguous{0};  // resolved by order/time tie-break
+  std::uint64_t link_unmatched{0};
+  std::uint64_t queue_drops_inferred{0};
+  std::uint64_t internal_matched{0};
+  std::uint64_t internal_ambiguous{0};
+  std::uint64_t policy_drops_inferred{0};
+};
+
+/// Align every node of the graph. Returns one NodeAlignment per node id
+/// (sources get tx-side maps only).
+std::vector<NodeAlignment> align_all(const collector::Collector& col,
+                                     const GraphView& graph,
+                                     const AlignOptions& opts,
+                                     AlignStats* stats);
+
+}  // namespace microscope::trace

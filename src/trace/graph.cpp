@@ -1,0 +1,34 @@
+#include "trace/graph.hpp"
+
+#include "nf/topology.hpp"
+
+namespace microscope::trace {
+
+GraphView graph_view(const nf::Topology& topo) {
+  GraphView g;
+  g.sink = topo.sink_id();
+  const std::size_t n = topo.node_count();
+  g.kinds.resize(n);
+  g.names.resize(n);
+  g.upstreams.resize(n);
+  g.downstreams.resize(n);
+  for (NodeId id = 0; id < n; ++id) {
+    switch (topo.kind(id)) {
+      case nf::NodeKind::kSource:
+        g.kinds[id] = NodeKind::kSource;
+        break;
+      case nf::NodeKind::kNf:
+        g.kinds[id] = NodeKind::kNf;
+        break;
+      case nf::NodeKind::kSink:
+        g.kinds[id] = NodeKind::kSink;
+        break;
+    }
+    g.names[id] = topo.name(id);
+    g.upstreams[id] = topo.upstreams_of(id);
+    g.downstreams[id] = topo.downstreams_of(id);
+  }
+  return g;
+}
+
+}  // namespace microscope::trace

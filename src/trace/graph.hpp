@@ -1,0 +1,40 @@
+// Static view of the NF DAG used by reconstruction and diagnosis.
+//
+// Deliberately decoupled from nf::Topology so that trace/core can be tested
+// with hand-built graphs; `graph_view()` adapts a live topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/packet.hpp"
+
+namespace microscope::nf {
+class Topology;
+}
+
+namespace microscope::trace {
+
+enum class NodeKind : std::uint8_t { kSource, kNf, kSink };
+
+struct GraphView {
+  NodeId sink{kInvalidNode};
+  std::vector<NodeKind> kinds;                  // by node id
+  std::vector<std::string> names;               // by node id
+  std::vector<std::vector<NodeId>> upstreams;   // by node id
+  std::vector<std::vector<NodeId>> downstreams; // by node id
+
+  std::size_t node_count() const { return kinds.size(); }
+  bool is_nf(NodeId id) const {
+    return id < kinds.size() && kinds[id] == NodeKind::kNf;
+  }
+  bool is_source(NodeId id) const {
+    return id < kinds.size() && kinds[id] == NodeKind::kSource;
+  }
+};
+
+/// Build a GraphView from a live topology (edges as declared via add_edge).
+GraphView graph_view(const nf::Topology& topo);
+
+}  // namespace microscope::trace

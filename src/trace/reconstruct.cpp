@@ -1,0 +1,260 @@
+#include "trace/reconstruct.hpp"
+
+#include <algorithm>
+
+namespace microscope::trace {
+
+std::uint64_t NodeTimeline::arrivals_in(TimeNs t0, TimeNs t1) const {
+  const auto lo = std::upper_bound(
+      arrivals.begin(), arrivals.end(), t0,
+      [](TimeNs t, const Arrival& a) { return t < a.t; });
+  const auto hi = std::upper_bound(
+      arrivals.begin(), arrivals.end(), t1,
+      [](TimeNs t, const Arrival& a) { return t < a.t; });
+  return static_cast<std::uint64_t>(hi - lo);
+}
+
+std::uint64_t NodeTimeline::reads_in(TimeNs t0, TimeNs t1) const {
+  auto cum_at = [this](TimeNs t) -> std::uint64_t {
+    // Sum of counts of batches with ts <= t.
+    const auto it = std::upper_bound(
+        reads.begin(), reads.end(), t,
+        [](TimeNs x, const Read& r) { return x < r.ts; });
+    if (it == reads.begin()) return 0;
+    return reads_cum[static_cast<std::size_t>(it - reads.begin()) - 1];
+  };
+  return cum_at(t1) - cum_at(t0);
+}
+
+std::size_t NodeTimeline::first_arrival_after(TimeNs t0) const {
+  const auto it = std::upper_bound(
+      arrivals.begin(), arrivals.end(), t0,
+      [](TimeNs t, const Arrival& a) { return t < a.t; });
+  return static_cast<std::size_t>(it - arrivals.begin());
+}
+
+std::uint32_t ReconstructedTrace::journey_of_rx(NodeId node,
+                                                std::uint32_t rx_idx) const {
+  if (node >= jid_of_rx_.size() || rx_idx >= jid_of_rx_[node].size())
+    return kNoJourney;
+  return jid_of_rx_[node][rx_idx];
+}
+
+namespace {
+
+/// Timestamp of a tx entry at a node.
+TimeNs tx_ts_of(const collector::NodeTrace& t, const NodeAlignment& a,
+                std::uint32_t idx) {
+  return t.tx_batches[a.tx_batch_of[idx]].ts;
+}
+
+TimeNs rx_ts_of(const collector::NodeTrace& t, const NodeAlignment& a,
+                std::uint32_t idx) {
+  return t.rx_batches[a.rx_batch_of[idx]].ts;
+}
+
+NodeId tx_peer_of(const collector::NodeTrace& t, const NodeAlignment& a,
+                  std::uint32_t idx) {
+  return t.tx_batches[a.tx_batch_of[idx]].peer;
+}
+
+}  // namespace
+
+ReconstructedTrace reconstruct(const collector::Collector& col,
+                               const GraphView& graph,
+                               const ReconstructOptions& opts) {
+  ReconstructedTrace rt(graph, opts);
+  rt.alignments_ = align_all(col, graph, opts.align, &rt.align_stats_);
+  const std::size_t n = graph.node_count();
+
+  rt.jid_of_rx_.resize(n);
+  std::vector<std::vector<std::uint32_t>> jid_of_tx(n);
+  for (NodeId id = 0; id < n; ++id) {
+    if (!col.has_node(id)) continue;
+    rt.jid_of_rx_[id].assign(col.node(id).rx_ipids.size(), kNoJourney);
+    jid_of_tx[id].assign(col.node(id).tx_ipids.size(), kNoJourney);
+  }
+
+  // Walk a packet backward from a starting point to its source, filling
+  // hops in reverse. Returns false if reconstruction was truncated.
+  auto walk_back = [&](NodeId start_node, std::uint32_t start_tx,
+                       std::uint32_t start_rx, Journey& j,
+                       std::uint32_t jid) -> void {
+    NodeId cur = start_node;
+    std::uint32_t cur_tx = start_tx;
+    std::uint32_t cur_rx = start_rx;
+    bool complete = false;
+    while (true) {
+      if (graph.is_source(cur)) {
+        j.source = cur;
+        j.source_idx = cur_tx;
+        const auto& st = col.node(cur);
+        j.source_time = tx_ts_of(st, rt.alignments_[cur], cur_tx);
+        if (cur_tx < st.tx_flows.size()) j.flow = st.tx_flows[cur_tx];
+        j.ipid = st.tx_ipids[cur_tx];
+        jid_of_tx[cur][cur_tx] = jid;
+        complete = true;
+        break;
+      }
+      const auto& t = col.node(cur);
+      const NodeAlignment& a = rt.alignments_[cur];
+      std::uint32_t rx = cur_rx;
+      if (rx == kNoEntry && cur_tx != kNoEntry) rx = a.tx_to_rx[cur_tx];
+      if (rx == kNoEntry) break;  // alignment gap: truncate
+
+      Hop hop;
+      hop.node = cur;
+      hop.rx_idx = rx;
+      hop.tx_idx = cur_tx;
+      hop.read = rx_ts_of(t, a, rx);
+      hop.depart = cur_tx != kNoEntry ? tx_ts_of(t, a, cur_tx) : kTimeNever;
+      if (cur_tx != kNoEntry) jid_of_tx[cur][cur_tx] = jid;
+      rt.jid_of_rx_[cur][rx] = jid;
+
+      const TxRef origin = a.rx_origin[rx];
+      if (origin.valid()) {
+        hop.arrival = tx_ts_of(col.node(origin.node),
+                               rt.alignments_[origin.node], origin.idx) +
+                      opts.prop_delay;
+      } else {
+        hop.arrival = hop.read;
+      }
+      j.hops.push_back(hop);
+
+      if (!origin.valid()) break;  // truncated
+      cur = origin.node;
+      cur_tx = origin.idx;
+      cur_rx = kNoEntry;
+    }
+    if (!complete && j.fate != Fate::kDroppedPolicy) j.fate = Fate::kTruncated;
+    if (!complete && j.fate == Fate::kDroppedPolicy) {
+      // keep the policy-drop fate but note incompleteness via source.
+    }
+    std::reverse(j.hops.begin(), j.hops.end());
+  };
+
+  // --- Terminal 1: delivered packets (edge tx entries toward the sink) ---
+  for (NodeId e = 0; e < n; ++e) {
+    if (graph.kinds[e] != NodeKind::kNf || !col.has_node(e)) continue;
+    const auto& t = col.node(e);
+    const NodeAlignment& a = rt.alignments_[e];
+    for (const collector::BatchRecord& rec : t.tx_batches) {
+      if (rec.peer != graph.sink) continue;
+      for (std::uint32_t i = 0; i < rec.count; ++i) {
+        const std::uint32_t k = rec.begin + i;
+        const auto jid = static_cast<std::uint32_t>(rt.journeys_.size());
+        Journey j;
+        j.fate = Fate::kDelivered;
+        j.end_node = e;
+        if (k < t.tx_flows.size()) j.edge_flow = t.tx_flows[k];
+        j.ipid = t.tx_ipids[k];
+        walk_back(e, k, kNoEntry, j, jid);
+        if (!j.complete() && k < t.tx_flows.size()) j.flow = j.edge_flow;
+        rt.journeys_.push_back(std::move(j));
+      }
+    }
+    (void)a;
+  }
+
+  // --- Terminal 2: packets dropped at a downstream input queue ---
+  for (NodeId u = 0; u < n; ++u) {
+    if (!col.has_node(u)) continue;
+    const auto& t = col.node(u);
+    const NodeAlignment& a = rt.alignments_[u];
+    for (std::uint32_t k = 0; k < a.tx_dropped_downstream.size(); ++k) {
+      if (!a.tx_dropped_downstream[k]) continue;
+      const auto jid = static_cast<std::uint32_t>(rt.journeys_.size());
+      Journey j;
+      j.fate = Fate::kDroppedQueue;
+      j.end_node = tx_peer_of(t, a, k);
+      j.ipid = t.tx_ipids[k];
+      walk_back(u, k, kNoEntry, j, jid);
+      if (j.fate == Fate::kTruncated) j.fate = Fate::kDroppedQueue;
+      // Pseudo-hop at the dropping node: it arrived but was never read.
+      Hop drop_hop;
+      drop_hop.node = j.end_node;
+      drop_hop.arrival = tx_ts_of(t, a, k) + opts.prop_delay;
+      drop_hop.read = kTimeNever;
+      drop_hop.depart = kTimeNever;
+      j.hops.push_back(drop_hop);
+      rt.journeys_.push_back(std::move(j));
+    }
+  }
+
+  // --- Terminal 3: NF policy drops (rx entries with no tx counterpart) ---
+  for (NodeId d = 0; d < n; ++d) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+    const auto& t = col.node(d);
+    const NodeAlignment& a = rt.alignments_[d];
+    for (std::uint32_t i = 0; i < a.rx_to_tx.size(); ++i) {
+      if (a.rx_to_tx[i] != kNoEntry) continue;
+      if (rt.jid_of_rx_[d][i] != kNoJourney) continue;
+      const auto jid = static_cast<std::uint32_t>(rt.journeys_.size());
+      Journey j;
+      j.fate = Fate::kDroppedPolicy;
+      j.end_node = d;
+      j.ipid = t.rx_ipids[i];
+      walk_back(d, kNoEntry, i, j, jid);
+      rt.journeys_.push_back(std::move(j));
+    }
+  }
+
+  // --- Per-NF timelines ---
+  rt.timelines_.resize(n);
+  // Inverse of rx_origin: which rx entry consumed each upstream tx entry.
+  std::vector<std::vector<std::uint32_t>> consumed(n);
+  for (NodeId id = 0; id < n; ++id) {
+    if (col.has_node(id))
+      consumed[id].assign(col.node(id).tx_ipids.size(), kNoEntry);
+  }
+  for (NodeId d = 0; d < n; ++d) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+    const NodeAlignment& a = rt.alignments_[d];
+    for (std::uint32_t i = 0; i < a.rx_origin.size(); ++i) {
+      const TxRef o = a.rx_origin[i];
+      if (o.valid()) consumed[o.node][o.idx] = i;
+    }
+  }
+  for (NodeId d = 0; d < n; ++d) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+    NodeTimeline& tl = rt.timelines_[d];
+    for (NodeId u : graph.upstreams[d]) {
+      if (!col.has_node(u)) continue;
+      const auto& ut = col.node(u);
+      const NodeAlignment& ua = rt.alignments_[u];
+      for (const collector::BatchRecord& rec : ut.tx_batches) {
+        if (rec.peer != d) continue;
+        for (std::uint32_t i = 0; i < rec.count; ++i) {
+          const std::uint32_t e = rec.begin + i;
+          Arrival ar;
+          ar.t = rec.ts + opts.prop_delay;
+          ar.from = u;
+          ar.up_tx_idx = e;
+          ar.rx_idx = consumed[u][e];
+          ar.journey = jid_of_tx[u][e];
+          tl.arrivals.push_back(ar);
+        }
+      }
+      (void)ua;
+    }
+    std::sort(tl.arrivals.begin(), tl.arrivals.end(),
+              [](const Arrival& a, const Arrival& b) { return a.t < b.t; });
+
+    const auto& t = col.node(d);
+    tl.reads.reserve(t.rx_batches.size());
+    std::uint64_t cum = 0;
+    for (const collector::BatchRecord& rec : t.rx_batches) {
+      NodeTimeline::Read r;
+      r.ts = rec.ts;
+      r.count = rec.count;
+      r.short_batch = rec.count < opts.max_batch;
+      tl.reads.push_back(r);
+      cum += rec.count;
+      tl.reads_cum.push_back(cum);
+    }
+  }
+
+  return rt;
+}
+
+}  // namespace microscope::trace

@@ -1,0 +1,158 @@
+// Full trace reconstruction: per-packet journeys across the NF DAG and
+// per-NF queue timelines, built purely from collector records (plus the
+// static DAG) — the offline front half of Microscope's diagnosis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "common/flow.hpp"
+#include "common/time.hpp"
+#include "trace/align.hpp"
+#include "trace/graph.hpp"
+
+namespace microscope::trace {
+
+inline constexpr std::uint32_t kNoJourney =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// One NF hop of a packet's journey.
+struct Hop {
+  NodeId node{kInvalidNode};
+  /// When the packet entered the node's input queue (upstream tx + prop).
+  TimeNs arrival{0};
+  /// When the NF read it from the queue (rx batch timestamp).
+  TimeNs read{0};
+  /// When the NF wrote it out (tx batch timestamp); kTimeNever if the
+  /// packet died at this node.
+  TimeNs depart{kTimeNever};
+  /// Index of the packet's rx entry at this node (kNoEntry if it was
+  /// dropped at the input queue and never read).
+  std::uint32_t rx_idx{kNoEntry};
+  std::uint32_t tx_idx{kNoEntry};
+
+  /// Queueing + processing delay at this hop.
+  DurationNs latency() const {
+    return depart == kTimeNever ? 0 : depart - arrival;
+  }
+};
+
+enum class Fate : std::uint8_t {
+  kDelivered,
+  kDroppedQueue,   // input queue overflow (inferred from a missed deadline)
+  kDroppedPolicy,  // NF consumed it without emitting (e.g. firewall drop)
+  kTruncated,      // reconstruction could not follow the packet further
+};
+
+struct Journey {
+  /// Flow as emitted by the source (pre-NAT); the canonical identity used
+  /// for aggregation.
+  FiveTuple flow{};
+  /// Flow as recorded at the graph edge (post-NAT); only for delivered
+  /// packets.
+  FiveTuple edge_flow{};
+  std::uint16_t ipid{0};
+  NodeId source{kInvalidNode};
+  std::uint32_t source_idx{kNoEntry};  // tx entry index at the source
+  TimeNs source_time{0};
+  Fate fate{Fate::kDelivered};
+  /// Node where the packet died (for the two drop fates).
+  NodeId end_node{kInvalidNode};
+  std::vector<Hop> hops;  // in path order (source not included)
+
+  bool complete() const { return source != kInvalidNode; }
+  /// End-to-end latency; only meaningful for delivered packets.
+  DurationNs e2e_latency() const {
+    return hops.empty() || hops.back().depart == kTimeNever
+               ? 0
+               : hops.back().depart - source_time;
+  }
+};
+
+/// One packet arriving at an NF's input queue (accepted or dropped).
+struct Arrival {
+  TimeNs t{0};
+  NodeId from{kInvalidNode};
+  std::uint32_t up_tx_idx{kNoEntry};
+  /// rx entry index at this node; kNoEntry if dropped at the queue.
+  std::uint32_t rx_idx{kNoEntry};
+  std::uint32_t journey{kNoJourney};
+  bool accepted() const { return rx_idx != kNoEntry; }
+};
+
+/// Per-NF queue timeline reconstructed from records.
+struct NodeTimeline {
+  std::vector<Arrival> arrivals;  // sorted by t
+  /// Read batches in time order: ts, count, and whether the batch was
+  /// "short" (count < max_batch => the queue emptied; paper §5).
+  struct Read {
+    TimeNs ts;
+    std::uint16_t count;
+    bool short_batch;
+  };
+  std::vector<Read> reads;
+  /// Prefix sums of read counts (reads_cum[i] = packets read in batches
+  /// [0, i]).
+  std::vector<std::uint64_t> reads_cum;
+
+  /// Number of accepted+dropped arrivals in (t0, t1].
+  std::uint64_t arrivals_in(TimeNs t0, TimeNs t1) const;
+  /// Number of packets read in batches with ts in (t0, t1].
+  std::uint64_t reads_in(TimeNs t0, TimeNs t1) const;
+  /// Index of first arrival with t > t0, arrivals.size() if none.
+  std::size_t first_arrival_after(TimeNs t0) const;
+};
+
+struct ReconstructOptions {
+  AlignOptions align{};
+  /// Link propagation delay assumed when converting upstream tx timestamps
+  /// to arrival times (the topology's configured value).
+  DurationNs prop_delay = 1_us;
+  /// Batch size above which a read cannot prove the queue emptied.
+  std::uint16_t max_batch = 32;
+};
+
+class ReconstructedTrace {
+ public:
+  ReconstructedTrace(const GraphView& graph, ReconstructOptions opts)
+      : graph_(graph), opts_(opts) {}
+
+  const GraphView& graph() const { return graph_; }
+  const ReconstructOptions& options() const { return opts_; }
+
+  const std::vector<Journey>& journeys() const { return journeys_; }
+  const Journey& journey(std::uint32_t id) const { return journeys_.at(id); }
+
+  const NodeTimeline& timeline(NodeId id) const { return timelines_.at(id); }
+  bool has_timeline(NodeId id) const {
+    return id < timelines_.size() && !timelines_[id].reads.empty();
+  }
+
+  const AlignStats& align_stats() const { return align_stats_; }
+  const std::vector<NodeAlignment>& alignments() const { return alignments_; }
+
+  /// Journey id of a node's rx entry (kNoJourney if unresolved).
+  std::uint32_t journey_of_rx(NodeId node, std::uint32_t rx_idx) const;
+
+  friend ReconstructedTrace reconstruct(const collector::Collector& col,
+                                        const GraphView& graph,
+                                        const ReconstructOptions& opts);
+
+ private:
+  GraphView graph_;
+  ReconstructOptions opts_;
+  std::vector<Journey> journeys_;
+  std::vector<NodeTimeline> timelines_;          // by node id
+  std::vector<std::vector<std::uint32_t>> jid_of_rx_;  // [node][rx entry]
+  std::vector<NodeAlignment> alignments_;
+  AlignStats align_stats_{};
+};
+
+/// Run alignment and assemble journeys + timelines.
+ReconstructedTrace reconstruct(const collector::Collector& col,
+                               const GraphView& graph,
+                               const ReconstructOptions& opts = {});
+
+}  // namespace microscope::trace

@@ -1,0 +1,43 @@
+// Ground-truth verification of reconstruction.
+//
+// The collector optionally keeps a hidden per-entry uid sidecar that the
+// reconstruction never reads. Comparing rx_origin links and journeys
+// against it measures how often the IPID disambiguation (paper §5) is
+// actually right — used by tests and by the side-channel ablation bench.
+#pragma once
+
+#include "collector/collector.hpp"
+#include "trace/reconstruct.hpp"
+
+namespace microscope::trace {
+
+struct VerifyStats {
+  // Link alignment: rx entry -> upstream tx entry.
+  std::uint64_t links_checked{0};
+  std::uint64_t links_correct{0};
+  // Journeys: source attribution (the journey's source entry is the packet
+  // that really produced it).
+  std::uint64_t journeys_checked{0};
+  std::uint64_t journeys_correct{0};
+  // Drop inference: inferred dropped-at-queue entries whose packet really
+  // never reached a downstream rx record.
+  std::uint64_t drops_inferred{0};
+
+  double link_accuracy() const {
+    return links_checked ? static_cast<double>(links_correct) /
+                               static_cast<double>(links_checked)
+                         : 1.0;
+  }
+  double journey_accuracy() const {
+    return journeys_checked ? static_cast<double>(journeys_correct) /
+                                  static_cast<double>(journeys_checked)
+                            : 1.0;
+  }
+};
+
+/// Compare a reconstruction against the collector's uid sidecar. The
+/// collector must have been created with ground_truth enabled.
+VerifyStats verify_against_ground_truth(const ReconstructedTrace& rt,
+                                        const collector::Collector& col);
+
+}  // namespace microscope::trace

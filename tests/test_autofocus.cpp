@@ -1,0 +1,318 @@
+// Unit + property tests for the AutoFocus-style pattern aggregation:
+// generalization hierarchies, the multi-dimensional HHH, and the two-phase
+// culprit/victim aggregation (paper §4.4).
+#include <gtest/gtest.h>
+
+#include "autofocus/aggregate.hpp"
+#include "autofocus/hhh.hpp"
+#include "autofocus/hierarchy.hpp"
+#include "common/rng.hpp"
+
+namespace microscope::autofocus {
+namespace {
+
+NfCatalog small_catalog() {
+  NfCatalog cat;
+  cat.node_names = {"sink", "src", "fw1", "fw2", "vpn1"};
+  cat.type_names = {"sink", "source", "fw", "vpn"};
+  cat.type_of = {0, 1, 2, 2, 3};
+  return cat;
+}
+
+FiveTuple ft(std::uint32_t src_last, std::uint16_t sport,
+             std::uint16_t dport) {
+  return {make_ipv4(10, 1, 1, src_last), make_ipv4(20, 2, 2, 2), sport, dport,
+          6};
+}
+
+TEST(Hierarchy, PortRangeLadder) {
+  const auto exact = PortRange::exact(8080);
+  EXPECT_TRUE(exact.is_exact());
+  const auto band = PortRange::band(8080);
+  EXPECT_EQ(band.lo, 1024);
+  EXPECT_EQ(band.hi, 65535);
+  EXPECT_EQ(PortRange::band(80).hi, 1023);
+  EXPECT_TRUE(PortRange::any().covers(band));
+  EXPECT_TRUE(band.covers(exact));
+  EXPECT_FALSE(exact.covers(band));
+  EXPECT_EQ(format_port_range(exact), "8080");
+  EXPECT_EQ(format_port_range(band), "1024-65535");
+  EXPECT_EQ(format_port_range(PortRange::any()), "*");
+}
+
+TEST(Hierarchy, NfSetLadder) {
+  const auto cat = small_catalog();
+  NfSet inst = NfSet::of_instance(2, cat);  // fw1
+  EXPECT_EQ(inst.level, NfSet::Level::kInstance);
+  NfSet type = inst.generalize();
+  EXPECT_EQ(type.level, NfSet::Level::kType);
+  NfSet any = type.generalize();
+  EXPECT_EQ(any.level, NfSet::Level::kAny);
+
+  NfSet other = NfSet::of_instance(3, cat);  // fw2, same type
+  EXPECT_TRUE(type.covers(inst));
+  EXPECT_TRUE(type.covers(other));
+  EXPECT_FALSE(inst.covers(other));
+  EXPECT_TRUE(any.covers(inst));
+  const NfSet vpn = NfSet::of_instance(4, cat);
+  EXPECT_FALSE(type.covers(vpn));
+
+  EXPECT_EQ(format_nf_set(inst, cat), "fw1");
+  EXPECT_EQ(format_nf_set(type, cat), "fw*");
+  EXPECT_EQ(format_nf_set(any, cat), "*");
+}
+
+TEST(Hierarchy, SideKeyLeafAndCovers) {
+  const auto cat = small_catalog();
+  SideKey leaf = SideKey::leaf(ft(5, 2000, 6000), 2, cat);
+  EXPECT_EQ(leaf.generality(), 0);
+  EXPECT_TRUE(leaf.covers(leaf));
+
+  SideKey agg = leaf;
+  agg.src = {make_ipv4(10, 1, 1, 0), 24};
+  agg.sport = PortRange::band(2000);
+  agg.nf = agg.nf.generalize();
+  EXPECT_TRUE(agg.covers(leaf));
+  EXPECT_FALSE(leaf.covers(agg));
+  EXPECT_GT(agg.generality(), 0);
+
+  // Root covers everything.
+  SideKey root;
+  EXPECT_TRUE(root.covers(leaf));
+  EXPECT_TRUE(root.covers(agg));
+  EXPECT_EQ(root.generality(), 4 + 4 + 2 + 2 + 1 + 2);
+}
+
+TEST(Hierarchy, GeneralizeDimLadders) {
+  const auto cat = small_catalog();
+  const SideKey leaf = SideKey::leaf(ft(5, 2000, 6000), 2, cat);
+  EXPECT_EQ(generalize_dim(leaf, 0).size(), 5u);  // /32,/24,/16,/8,/0
+  EXPECT_EQ(generalize_dim(leaf, 2).size(), 3u);  // exact, band, any
+  EXPECT_EQ(generalize_dim(leaf, 4).size(), 2u);  // proto, any
+  EXPECT_EQ(generalize_dim(leaf, 5).size(), 3u);  // inst, type, any
+  // Each step strictly generalizes (covers the previous).
+  for (int d = 0; d < kSideDims; ++d) {
+    const auto ladder = generalize_dim(leaf, d);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_TRUE(ladder[i].covers(ladder[i - 1]))
+          << "dim " << d << " step " << i;
+    }
+  }
+}
+
+TEST(Hhh, FindsPlantedHeavyAggregate) {
+  const auto cat = small_catalog();
+  std::vector<WeightedSide> leaves;
+  Rng rng(5);
+  // 60 units spread over one /24 with random hosts; 40 units of noise.
+  for (int i = 0; i < 60; ++i) {
+    leaves.push_back(
+        {SideKey::leaf(ft(static_cast<std::uint32_t>(rng.uniform_u64(200)),
+                          static_cast<std::uint16_t>(3000 + i), 443),
+                       2, cat),
+         1.0});
+  }
+  for (int i = 0; i < 40; ++i) {
+    FiveTuple noise = ft(1, 1, 1);
+    noise.src_ip = static_cast<std::uint32_t>(rng.next_u64());
+    noise.dst_ip = static_cast<std::uint32_t>(rng.next_u64());
+    noise.src_port = static_cast<std::uint16_t>(rng.next_u64());
+    leaves.push_back({SideKey::leaf(noise, 3, cat), 1.0});
+  }
+  HhhOptions opts;
+  opts.threshold = 20.0;
+  const auto clusters = side_hhh(leaves, opts);
+  ASSERT_FALSE(clusters.empty());
+  // Some reported cluster must capture the 10.1.1.0/24 mass at fw1.
+  bool found = false;
+  for (const SideCluster& c : clusters) {
+    if (c.key.src.covers({make_ipv4(10, 1, 1, 0), 24}) &&
+        c.key.src.len >= 24 && c.mass >= 55.0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Hhh, ResidualsRespectThreshold) {
+  const auto cat = small_catalog();
+  std::vector<WeightedSide> leaves;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    FiveTuple f = ft(static_cast<std::uint32_t>(rng.uniform_u64(250)),
+                     static_cast<std::uint16_t>(rng.uniform_u64(60000)),
+                     static_cast<std::uint16_t>(rng.uniform_u64(60000)));
+    leaves.push_back({SideKey::leaf(f, 2 + (i % 2), cat),
+                      rng.uniform(0.1, 3.0)});
+  }
+  HhhOptions opts;
+  opts.threshold = 30.0;
+  const auto clusters = side_hhh(leaves, opts);
+  double total_mass = 0;
+  for (const auto& l : leaves) total_mass += l.mass;
+  for (const SideCluster& c : clusters) {
+    EXPECT_GE(c.residual, opts.threshold);
+    EXPECT_LE(c.mass, total_mass + 1e-9);
+    EXPECT_GE(c.mass, c.residual - 1e-9);
+  }
+  // Residual sum can never exceed the total input mass.
+  double residuals = 0;
+  for (const SideCluster& c : clusters) residuals += c.residual;
+  EXPECT_LE(residuals, total_mass + 1e-6);
+}
+
+TEST(Hhh, SpecificBeatsGeneralInReportOrder) {
+  const auto cat = small_catalog();
+  std::vector<WeightedSide> leaves;
+  for (int i = 0; i < 100; ++i)
+    leaves.push_back({SideKey::leaf(ft(7, 2000, 6000), 2, cat), 1.0});
+  HhhOptions opts;
+  opts.threshold = 50.0;
+  const auto clusters = side_hhh(leaves, opts);
+  ASSERT_FALSE(clusters.empty());
+  // The exact leaf itself is significant; once reported, every ancestor's
+  // residual is ~0, so only the leaf appears.
+  EXPECT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].key.generality(), 0);
+  EXPECT_DOUBLE_EQ(clusters[0].mass, 100.0);
+}
+
+TEST(Aggregate, RecoversBugTriggerPattern) {
+  // Fig. 14 setup in miniature: bug-trigger flows (100.0.0.1 -> 32.0.0.1,
+  // sports 2000-2008, dports 6000-6008) are culprits at fw2; victims are
+  // random flows at fw2. Noise relations elsewhere.
+  const auto cat = small_catalog();
+  std::vector<RelationRecord> records;
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    RelationRecord r;
+    r.culprit_flow = {make_ipv4(100, 0, 0, 1), make_ipv4(32, 0, 0, 1),
+                      static_cast<std::uint16_t>(2000 + i % 9),
+                      static_cast<std::uint16_t>(6000 + i % 9), 6};
+    r.culprit_nf = 3;  // fw2
+    r.kind = core::CauseKind::kLocalProcessing;
+    r.victim_flow = ft(static_cast<std::uint32_t>(rng.uniform_u64(250)),
+                       static_cast<std::uint16_t>(rng.uniform_u64(60000)),
+                       443);
+    r.victim_nf = 3;
+    r.score = 1.0;
+    records.push_back(r);
+  }
+  for (int i = 0; i < 100; ++i) {  // background noise
+    RelationRecord r;
+    r.culprit_flow = ft(static_cast<std::uint32_t>(rng.uniform_u64(250)),
+                        static_cast<std::uint16_t>(rng.uniform_u64(60000)),
+                        static_cast<std::uint16_t>(rng.uniform_u64(60000)));
+    r.culprit_nf = 1;
+    r.kind = core::CauseKind::kSourceTraffic;
+    r.victim_flow = ft(static_cast<std::uint32_t>(rng.uniform_u64(250)), 1, 2);
+    r.victim_nf = 2;
+    r.score = 0.2;
+    records.push_back(r);
+  }
+
+  AggregateOptions opts;
+  opts.threshold_frac = 0.05;
+  const auto patterns = aggregate_patterns(records, cat, opts);
+  ASSERT_FALSE(patterns.empty());
+
+  // The top pattern must be a bug-flow culprit at fw2 (the paper's Fig. 14
+  // observation: each port pair appears as its own pattern because the
+  // static port hierarchy cannot merge 2000-2008).
+  const Pattern& top = patterns.front();
+  EXPECT_EQ(top.kind, core::CauseKind::kLocalProcessing);
+  EXPECT_TRUE(top.culprit.src.covers(Ipv4Prefix::host(make_ipv4(100, 0, 0, 1))));
+  EXPECT_GE(top.culprit.src.len, 8);  // not washed out to "*"
+
+  // Every one of the nine (sport, dport) bug pairs is covered by some
+  // significant pattern.
+  for (std::uint16_t off = 0; off < 9; ++off) {
+    const SideKey probe = SideKey::leaf(
+        {make_ipv4(100, 0, 0, 1), make_ipv4(32, 0, 0, 1),
+         static_cast<std::uint16_t>(2000 + off),
+         static_cast<std::uint16_t>(6000 + off), 6},
+        3, cat);
+    bool covered = false;
+    for (const Pattern& p : patterns)
+      if (p.kind == core::CauseKind::kLocalProcessing &&
+          p.culprit.covers(probe))
+        covered = true;
+    EXPECT_TRUE(covered) << "bug pair +" << off << " not covered";
+  }
+  // Scores are ordered.
+  for (std::size_t i = 1; i < patterns.size(); ++i)
+    EXPECT_LE(patterns[i].score, patterns[i - 1].score);
+}
+
+TEST(Aggregate, FlattenDiagnoses) {
+  core::Diagnosis d;
+  d.victim.flow = ft(1, 2, 3);
+  d.victim.node = 4;
+  core::CausalRelation rel;
+  rel.culprit = {2, core::CauseKind::kLocalProcessing};
+  rel.score = 10.0;
+  rel.flows.push_back({ft(9, 9, 9), 6.0});
+  rel.flows.push_back({ft(8, 8, 8), 4.0});
+  d.relations.push_back(rel);
+  core::CausalRelation no_flows;
+  no_flows.culprit = {1, core::CauseKind::kSourceTraffic};
+  no_flows.score = 2.0;
+  d.relations.push_back(no_flows);
+
+  const auto records =
+      flatten_diagnoses(std::span<const core::Diagnosis>(&d, 1));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(records[0].score, 6.0);
+  EXPECT_DOUBLE_EQ(records[1].score, 4.0);
+  EXPECT_DOUBLE_EQ(records[2].score, 2.0);
+  EXPECT_EQ(records[0].victim_nf, 4u);
+}
+
+TEST(Aggregate, FormatPatternReadable) {
+  const auto cat = small_catalog();
+  Pattern p;
+  p.culprit = SideKey::leaf(
+      {make_ipv4(100, 0, 0, 1), make_ipv4(32, 0, 0, 1), 2004, 6004, 6}, 3,
+      cat);
+  p.victim = SideKey::leaf(ft(1, 1024, 443), 4, cat);
+  p.victim.sport = PortRange::band(1024);
+  p.victim.src = {make_ipv4(10, 1, 1, 0), 24};
+  p.kind = core::CauseKind::kLocalProcessing;
+  p.score = 12.5;
+  const std::string s = format_pattern(p, cat);
+  EXPECT_NE(s.find("100.0.0.1/32"), std::string::npos);
+  EXPECT_NE(s.find("fw2"), std::string::npos);
+  EXPECT_NE(s.find("=>"), std::string::npos);
+  EXPECT_NE(s.find("10.1.1.0/24"), std::string::npos);
+  EXPECT_NE(s.find("1024-65535"), std::string::npos);
+}
+
+/// Property: HHH mass accounting — every reported cluster's mass equals
+/// the true mass of leaves it covers.
+class HhhProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HhhProperty, ClusterMassMatchesCoveredLeaves) {
+  const auto cat = small_catalog();
+  Rng rng(GetParam());
+  std::vector<WeightedSide> leaves;
+  for (int i = 0; i < 300; ++i) {
+    FiveTuple f = ft(static_cast<std::uint32_t>(rng.uniform_u64(16)),
+                     static_cast<std::uint16_t>(rng.uniform_u64(4)),
+                     static_cast<std::uint16_t>(80 + rng.uniform_u64(2)));
+    leaves.push_back(
+        {SideKey::leaf(f, 2 + rng.uniform_u64(3), cat), rng.uniform(0.5, 2.0)});
+  }
+  HhhOptions opts;
+  opts.threshold = 25.0;
+  for (const SideCluster& c : side_hhh(leaves, opts)) {
+    double covered = 0;
+    for (const WeightedSide& l : leaves)
+      if (c.key.covers(l.key)) covered += l.mass;
+    EXPECT_NEAR(c.mass, covered, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HhhProperty, ::testing::Values(1, 7, 42, 99));
+
+}  // namespace
+}  // namespace microscope::autofocus

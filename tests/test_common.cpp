@@ -1,0 +1,202 @@
+// Unit tests for common/: time, flows, prefixes, RNG, statistics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/flow.hpp"
+#include "common/prefix.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/time.hpp"
+
+namespace microscope {
+namespace {
+
+TEST(Time, Literals) {
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_EQ(1_ms, 1000_us);
+  EXPECT_EQ(1_s, 1000_ms);
+  EXPECT_DOUBLE_EQ(to_ms(1500000), 1.5);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_sec(2'000'000'000), 2.0);
+}
+
+TEST(Time, RateConversions) {
+  const auto r = RatePerNs::from_mpps(1.0);
+  EXPECT_DOUBLE_EQ(r.mpps(), 1.0);
+  EXPECT_DOUBLE_EQ(r.pps(), 1e6);
+  // 1 Mpps for 1 ms => 1000 packets.
+  EXPECT_NEAR(r.packets_in(1_ms), 1000.0, 1e-9);
+  EXPECT_EQ(r.time_for(1000.0), 1_ms);
+}
+
+TEST(Time, ZeroRateNeverFinishes) {
+  EXPECT_EQ(RatePerNs{}.time_for(5.0), kTimeNever);
+}
+
+TEST(Flow, HashIsStableAndSpreads) {
+  FiveTuple a{make_ipv4(10, 0, 0, 1), make_ipv4(10, 0, 0, 2), 1000, 80, 6};
+  EXPECT_EQ(flow_hash(a), flow_hash(a));
+  std::set<std::uint64_t> hashes;
+  for (std::uint16_t p = 0; p < 1000; ++p) {
+    FiveTuple b = a;
+    b.src_port = p;
+    hashes.insert(flow_hash(b));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);  // no collisions over a small set
+}
+
+TEST(Flow, FormatAndParseIpv4) {
+  const std::uint32_t ip = make_ipv4(192, 168, 1, 200);
+  EXPECT_EQ(format_ipv4(ip), "192.168.1.200");
+  EXPECT_EQ(parse_ipv4("192.168.1.200"), ip);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_THROW(parse_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3.999"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(Flow, FormatFiveTuple) {
+  FiveTuple a{make_ipv4(10, 0, 0, 1), make_ipv4(10, 0, 0, 2), 1000, 80, 6};
+  EXPECT_EQ(format_five_tuple(a), "10.0.0.1:1000 > 10.0.0.2:80 proto 6");
+}
+
+TEST(Prefix, MaskAndContains) {
+  EXPECT_EQ(prefix_mask(0), 0u);
+  EXPECT_EQ(prefix_mask(32), 0xFFFFFFFFu);
+  EXPECT_EQ(prefix_mask(24), 0xFFFFFF00u);
+
+  Ipv4Prefix p{make_ipv4(10, 1, 2, 0), 24};
+  EXPECT_TRUE(p.contains(make_ipv4(10, 1, 2, 200)));
+  EXPECT_FALSE(p.contains(make_ipv4(10, 1, 3, 200)));
+  EXPECT_TRUE(Ipv4Prefix::any().contains(make_ipv4(1, 2, 3, 4)));
+}
+
+TEST(Prefix, ParentAndCovers) {
+  Ipv4Prefix host = Ipv4Prefix::host(make_ipv4(10, 1, 2, 3));
+  Ipv4Prefix parent = host.parent();
+  EXPECT_EQ(parent.len, 31);
+  EXPECT_TRUE(parent.covers(host));
+  EXPECT_FALSE(host.covers(parent));
+  Ipv4Prefix p24{make_ipv4(10, 1, 2, 0), 24};
+  EXPECT_TRUE(p24.covers(host));
+  EXPECT_TRUE(p24.covers(p24));
+}
+
+TEST(Prefix, Format) {
+  EXPECT_EQ(format_prefix(Ipv4Prefix::any()), "*");
+  EXPECT_EQ(format_prefix({make_ipv4(10, 1, 2, 3), 24}), "10.1.2.0/24");
+  EXPECT_EQ(format_prefix(Ipv4Prefix::host(make_ipv4(1, 2, 3, 4))),
+            "1.2.3.4/32");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(123);
+  Rng c = a.split();
+  // Different streams should diverge immediately.
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform_u64(17), 17u);
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto v = r.uniform_i64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_THROW(r.uniform_u64(0), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(Rng, MeanOneLognormal) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 200000;
+  const double sigma = 0.3;
+  for (int i = 0; i < n; ++i) sum += r.lognormal(-sigma * sigma / 2, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Zipf, SkewConcentratesMass) {
+  Rng r(17);
+  ZipfSampler z(1000, 1.2);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(r)];
+  // Rank-0 should dominate rank-500 heavily.
+  EXPECT_GT(counts[0], counts[500] * 20);
+  // All samples in range.
+  int total = 0;
+  for (int c : counts) total += c;
+  EXPECT_EQ(total, 100000);
+}
+
+TEST(Stats, RunningMeanStd) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Stats, WindowedEviction) {
+  WindowedStats w(3);
+  w.add(1);
+  w.add(2);
+  w.add(3);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10);  // evicts 1
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_EQ(w.count(), 3u);
+}
+
+TEST(Stats, WindowedAbnormal) {
+  WindowedStats w(100);
+  for (int i = 0; i < 100; ++i) w.add(10.0 + (i % 2));  // mean 10.5, sd ~0.5
+  EXPECT_TRUE(w.is_abnormal(20.0));
+  EXPECT_FALSE(w.is_abnormal(10.5));
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+}
+
+TEST(Stats, CdfMonotone) {
+  std::vector<double> v;
+  Rng r(23);
+  for (int i = 0; i < 5000; ++i) v.push_back(r.uniform01());
+  const auto cdf = make_cdf(v, 100);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().cum_fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].cum_fraction, cdf[i - 1].cum_fraction);
+  }
+}
+
+}  // namespace
+}  // namespace microscope

@@ -1,0 +1,167 @@
+// Tests for the evaluation harness: oracle, rank metrics, the experiment
+// runner, and bug-flow targeting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/diagnosis.hpp"
+#include "eval/experiment.hpp"
+#include "eval/oracle.hpp"
+#include "eval/report.hpp"
+
+namespace microscope::eval {
+namespace {
+
+TEST(OracleTest, MapsVictimTimeToInjection) {
+  nf::InjectionLog log;
+  const auto id1 = log.add(nf::FaultType::kInterrupt, 5, 10_ms, 11_ms);
+  const auto id2 = log.add(nf::FaultType::kTrafficBurst, 1, 50_ms, 51_ms,
+                           FiveTuple{1, 2, 3, 4, 6});
+  log.add(nf::FaultType::kNaturalInterrupt, 7, 30_ms, 31_ms);  // never truth
+
+  Oracle oracle(log, /*horizon=*/5_ms);
+  const auto e1 = oracle.expected_for(10_ms + 500_us);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->injection, id1);
+  EXPECT_EQ(e1->culprit.node, 5u);
+  EXPECT_EQ(e1->culprit.kind, core::CauseKind::kLocalProcessing);
+
+  // Within the horizon after the injection ends.
+  EXPECT_TRUE(oracle.expected_for(14_ms).has_value());
+  // Outside every window (natural noise does not count).
+  EXPECT_FALSE(oracle.expected_for(30_ms + 500_us).has_value());
+  EXPECT_FALSE(oracle.expected_for(25_ms).has_value());
+
+  const auto e2 = oracle.expected_for(50'500'000);
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->injection, id2);
+  EXPECT_EQ(e2->culprit.kind, core::CauseKind::kSourceTraffic);
+  ASSERT_TRUE(e2->flow.has_value());
+}
+
+TEST(OracleTest, MicroscopeRankMatching) {
+  core::Diagnosis d;
+  core::CausalRelation big;
+  big.culprit = {3, core::CauseKind::kLocalProcessing};
+  big.score = 100.0;
+  d.relations.push_back(big);
+  core::CausalRelation small;
+  small.culprit = {1, core::CauseKind::kSourceTraffic};
+  small.score = 10.0;
+  small.flows.push_back({FiveTuple{9, 9, 9, 9, 6}, 10.0});
+  d.relations.push_back(small);
+
+  ExpectedCause exp_nf;
+  exp_nf.culprit = {3, core::CauseKind::kLocalProcessing};
+  exp_nf.type = nf::FaultType::kInterrupt;
+  EXPECT_EQ(microscope_rank(d, exp_nf), 1);
+
+  ExpectedCause exp_burst;
+  exp_burst.culprit = {1, core::CauseKind::kSourceTraffic};
+  exp_burst.type = nf::FaultType::kTrafficBurst;
+  exp_burst.flow = FiveTuple{9, 9, 9, 9, 6};
+  EXPECT_EQ(microscope_rank(d, exp_burst), 2);
+  // Wrong flow => no credit even though the node matches.
+  exp_burst.flow = FiveTuple{8, 8, 8, 8, 6};
+  EXPECT_EQ(microscope_rank(d, exp_burst), 0);
+  // Unless flow checking is disabled.
+  EXPECT_EQ(microscope_rank(d, exp_burst, /*check_flow=*/false), 2);
+
+  ExpectedCause absent;
+  absent.culprit = {99, core::CauseKind::kLocalProcessing};
+  EXPECT_EQ(microscope_rank(d, absent), 0);
+}
+
+TEST(OracleTest, NetMedicRankMatching) {
+  std::vector<netmedic::RankedComponent> ranked{{4, 3.0}, {2, 1.0}, {7, 0.1}};
+  ExpectedCause exp;
+  exp.culprit = {2, core::CauseKind::kLocalProcessing};
+  EXPECT_EQ(netmedic_rank(ranked, exp), 2);
+  exp.culprit.node = 8;
+  EXPECT_EQ(netmedic_rank(ranked, exp), 0);
+}
+
+TEST(OracleTest, RankStatistics) {
+  const std::vector<int> ranks{1, 1, 2, 0, 5, 1};
+  EXPECT_DOUBLE_EQ(rank1_fraction(ranks), 0.5);
+  const auto cdf = rank_cdf(ranks, 5);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.5);
+  EXPECT_NEAR(cdf[1], 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(cdf[4], 5.0 / 6.0, 1e-9);  // the miss (0) never counts
+  EXPECT_DOUBLE_EQ(rank1_fraction({}), 0.0);
+}
+
+TEST(Report, PrintersProduceOutput) {
+  std::ostringstream os;
+  print_rank_curve(os, "test curve", {1, 1, 2, 0}, 3);
+  EXPECT_NE(os.str().find("rank<= 1"), std::string::npos);
+  EXPECT_NE(os.str().find("not ranked"), std::string::npos);
+
+  std::ostringstream os2;
+  print_series(os2, "series", "x", "y", {{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_NE(os2.str().find("series"), std::string::npos);
+
+  std::ostringstream os3;
+  print_table(os3, "tbl", {"a", "bb"}, {{"1", "2"}, {"333", "4"}});
+  EXPECT_NE(os3.str().find("333"), std::string::npos);
+  EXPECT_EQ(fmt_pct(0.123456), "12.3%");
+  EXPECT_EQ(fmt_double(1.005, 2), "1.00");
+}
+
+TEST(ExperimentTest, BugTriggerFlowsRouteToTarget) {
+  sim::Simulator sim;
+  collector::Collector col;
+  const auto net = build_fig10(sim, &col);
+  for (const NodeId fw : net.firewalls) {
+    const auto flows = bug_trigger_flows(net, fw);
+    for (const FiveTuple& f : flows) {
+      EXPECT_EQ(net.firewall_for_flow(f), fw);
+      EXPECT_TRUE(bug_trigger_matcher().matches(f));
+    }
+  }
+  // The 81-flow population covers all firewalls.
+  std::size_t total = 0;
+  for (const NodeId fw : net.firewalls)
+    total += bug_trigger_flows(net, fw).size();
+  EXPECT_EQ(total, 81u);
+}
+
+TEST(ExperimentTest, EndToEndSmallRun) {
+  ExperimentConfig cfg;
+  cfg.traffic.duration = 200_ms;
+  cfg.traffic.rate_mpps = 1.0;
+  cfg.traffic.num_flows = 800;
+  cfg.plan.bursts = 1;
+  cfg.plan.interrupts = 1;
+  cfg.plan.bug_triggers = 1;
+  cfg.plan.first_at = 30_ms;
+  cfg.plan.spacing = 50_ms;
+  cfg.seed = 21;
+
+  auto ex = run_experiment(cfg);
+  ASSERT_EQ(ex.net.all_nfs().size(), 16u);
+  // All three injections landed (natural noise comes on top).
+  std::size_t injected = 0;
+  for (const auto& inj : ex.injections.all())
+    if (inj.type != nf::FaultType::kNaturalInterrupt) ++injected;
+  EXPECT_EQ(injected, 3u);
+
+  const auto rt = ex.reconstruct();
+  EXPECT_GT(rt.journeys().size(), 100'000u);
+  EXPECT_EQ(rt.align_stats().link_unmatched, 0u);
+
+  // Diagnosing the injected problems should mostly hit rank 1.
+  core::Diagnoser diag(rt, ex.peak_rates());
+  Oracle oracle(ex.injections);
+  std::vector<int> ranks;
+  for (const auto& v : diag.latency_victims_by_percentile(99.9)) {
+    const auto exp = oracle.expected_for(v.time);
+    if (!exp) continue;
+    ranks.push_back(microscope_rank(diag.diagnose(v), *exp));
+  }
+  ASSERT_GT(ranks.size(), 20u);
+  EXPECT_GE(rank1_fraction(ranks), 0.7);
+}
+
+}  // namespace
+}  // namespace microscope::eval

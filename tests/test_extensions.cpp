@@ -1,0 +1,210 @@
+// Tests for the extension features: ground-truth verification, the IPID
+// side-channel ablation knobs, §7 in-NF misbehaviour detection, the
+// dynamic load balancer NF, and IPID-wrap stress.
+#include <gtest/gtest.h>
+
+#include "eval/scenarios.hpp"
+#include "microscope/microscope.hpp"
+
+namespace microscope {
+namespace {
+
+struct ChainRun {
+  sim::Simulator sim;
+  collector::Collector col;
+  eval::SingleNf net;
+
+  explicit ChainRun(std::vector<nf::SourcePacket> traffic,
+                    TimeNs until = 200_ms)
+      : net(eval::build_single_firewall(sim, &col, 700)) {
+    net.topo->source(net.source).load(std::move(traffic));
+    sim.run_until(until);
+  }
+
+  trace::ReconstructedTrace reconstruct(trace::ReconstructOptions ropt = {}) {
+    ropt.prop_delay = net.topo->options().prop_delay;
+    return trace::reconstruct(col, trace::graph_view(*net.topo), ropt);
+  }
+};
+
+TEST(Verify, PerfectReconstructionScoresOne) {
+  nf::CaidaLikeOptions opts;
+  opts.duration = 20_ms;
+  opts.rate_mpps = 0.8;
+  ChainRun run(nf::generate_caida_like(opts));
+  const auto rt = run.reconstruct();
+  const auto check = trace::verify_against_ground_truth(rt, run.col);
+  EXPECT_GT(check.links_checked, 10000u);
+  EXPECT_DOUBLE_EQ(check.link_accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(check.journey_accuracy(), 1.0);
+}
+
+TEST(Verify, SurvivesIpidWrap) {
+  // >65536 packets from one source: every IPID occurs twice or more.
+  nf::CaidaLikeOptions opts;
+  opts.duration = 100_ms;
+  opts.rate_mpps = 0.9;  // 90k packets => full wrap plus change
+  opts.seed = 2;
+  ChainRun run(nf::generate_caida_like(opts), 200_ms);
+  ASSERT_GT(run.net.topo->source(run.net.source).emitted(), 70000u);
+  const auto rt = run.reconstruct();
+  const auto check = trace::verify_against_ground_truth(rt, run.col);
+  // Order + timing keep the wrap unambiguous on a FIFO chain.
+  EXPECT_GT(check.link_accuracy(), 0.999);
+  EXPECT_GT(check.journey_accuracy(), 0.999);
+}
+
+TEST(Verify, SideChannelAblationDegradesGracefully) {
+  nf::CaidaLikeOptions opts;
+  opts.duration = 60_ms;
+  opts.rate_mpps = 1.0;
+  opts.seed = 3;
+  ChainRun run(nf::generate_caida_like(opts), 120_ms);
+
+  trace::ReconstructOptions full;
+  const auto rt_full = run.reconstruct(full);
+  const auto acc_full =
+      trace::verify_against_ground_truth(rt_full, run.col).link_accuracy();
+
+  trace::ReconstructOptions no_order;
+  no_order.align.use_order = false;
+  const auto rt_no_order = run.reconstruct(no_order);
+  const auto acc_no_order =
+      trace::verify_against_ground_truth(rt_no_order, run.col).link_accuracy();
+
+  trace::ReconstructOptions no_timing;
+  no_timing.align.use_timing = false;
+  const auto rt_no_timing = run.reconstruct(no_timing);
+  const auto acc_no_timing =
+      trace::verify_against_ground_truth(rt_no_timing, run.col)
+          .link_accuracy();
+
+  EXPECT_DOUBLE_EQ(acc_full, 1.0);
+  // Ablated variants still work on a single chain (order OR timing alone
+  // suffices here), but must never beat the full combination.
+  EXPECT_LE(acc_no_order, acc_full);
+  EXPECT_LE(acc_no_timing, acc_full);
+  EXPECT_GT(acc_no_order, 0.5);
+  EXPECT_GT(acc_no_timing, 0.5);
+}
+
+TEST(InNfDelay, DetectsMisbehavingNf) {
+  // A firewall bug is an in-NF misbehaviour: the victim packets' delay is
+  // between read and write, not in the queue (§7 "problems not caused by
+  // long queues").
+  sim::Simulator sim;
+  collector::Collector col;
+  auto net = eval::build_single_firewall(sim, &col, 700);
+  nf::FirewallBug bug;
+  bug.match.dst_port_lo = 7777;
+  bug.match.dst_port_hi = 7777;
+  bug.slow_service_ns = 500_us;
+  dynamic_cast<nf::Firewall&>(net.topo->nf(net.nf)).set_bug(bug);
+
+  FiveTuple slow{make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 5, 7777, 6};
+  auto traffic = nf::generate_constant_rate(slow, 0, 10_ms, 0.001);  // 10 pkts
+  nf::CaidaLikeOptions bg;
+  bg.duration = 10_ms;
+  bg.rate_mpps = 0.2;
+  traffic = nf::merge_traces(std::move(traffic), nf::generate_caida_like(bg));
+  net.topo->source(net.source).load(std::move(traffic));
+  sim.run_until(30_ms);
+
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = net.topo->options().prop_delay;
+  const auto rt = trace::reconstruct(col, trace::graph_view(*net.topo), ropt);
+  core::Diagnoser diag(rt, net.topo->peak_rates());
+
+  const auto victims = diag.in_nf_delay_victims(400_us);
+  // Timestamps are batch-granular, so packets sharing a batch with a slow
+  // packet also show the large in-NF delay; all ten slow packets must be
+  // among the victims and every victim must be at the buggy NF.
+  std::size_t slow_found = 0;
+  for (const core::Victim& v : victims) {
+    EXPECT_EQ(v.kind, core::Victim::Kind::kInNfDelay);
+    EXPECT_EQ(v.node, net.nf);
+    EXPECT_GE(v.hop_latency, 400_us);
+    if (v.flow.dst_port == 7777) ++slow_found;
+  }
+  EXPECT_GE(slow_found, 9u);
+  // And no false positives far from the bug episodes: every victim's batch
+  // must contain at least one slow packet, so victims stay a small set.
+  EXPECT_LT(victims.size(), 350u);
+}
+
+TEST(LoadBalancerNfTest, RoundRobinSplitsAndReconstructs) {
+  // source -> RR load balancer -> {mon a, mon b} -> sink. Packets of the
+  // same flow alternate paths; reconstruction must still follow each one.
+  sim::Simulator sim;
+  collector::Collector col;
+  nf::Topology topo(sim, &col);
+  auto& src = topo.add_source("s");
+
+  nf::NfConfig mon_cfg;
+  mon_cfg.name = "monA";
+  mon_cfg.base_service_ns = 400;
+  mon_cfg.record_full_flow = true;
+  auto& mon_a = topo.add_monitor(mon_cfg);
+  mon_cfg.name = "monB";
+  auto& mon_b = topo.add_monitor(mon_cfg);
+
+  nf::NfConfig lb_cfg;
+  lb_cfg.name = "lb";
+  lb_cfg.base_service_ns = 120;
+  auto& lb = topo.add_load_balancer(lb_cfg, {mon_a.id(), mon_b.id()});
+
+  src.set_router([id = lb.id()](const Packet&) { return id; });
+  mon_a.set_router([s = topo.sink_id()](const Packet&) { return s; });
+  mon_b.set_router([s = topo.sink_id()](const Packet&) { return s; });
+  topo.add_edge(src.id(), lb.id());
+  topo.add_edge(lb.id(), mon_a.id());
+  topo.add_edge(lb.id(), mon_b.id());
+  topo.add_edge(mon_a.id(), topo.sink_id());
+  topo.add_edge(mon_b.id(), topo.sink_id());
+
+  FiveTuple flow{make_ipv4(9, 9, 9, 9), make_ipv4(8, 8, 8, 8), 1, 2, 6};
+  src.load(nf::generate_constant_rate(flow, 0, 10_ms, 0.2));  // 2000 pkts
+  sim.run_until(20_ms);
+
+  // Both targets got ~half the packets despite a single flow.
+  EXPECT_NEAR(static_cast<double>(mon_a.packets_processed()), 1000.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(mon_b.packets_processed()), 1000.0, 40.0);
+
+  const auto rt = trace::reconstruct(col, trace::graph_view(topo), {});
+  const auto check = trace::verify_against_ground_truth(rt, col);
+  EXPECT_DOUBLE_EQ(check.link_accuracy(), 1.0);
+  std::size_t delivered = 0;
+  for (const auto& j : rt.journeys())
+    if (j.fate == trace::Fate::kDelivered) {
+      ++delivered;
+      ASSERT_EQ(j.hops.size(), 2u);  // lb + one monitor
+      EXPECT_EQ(j.hops[0].node, lb.id());
+    }
+  EXPECT_EQ(delivered, 2000u);
+}
+
+TEST(QueueThreshold, SegmentsPersistentQueues) {
+  // Saturating load: the queue never provably empties, so the zero
+  // threshold stretches the period to the lookback bound while a non-zero
+  // threshold finds a recent anchor.
+  auto traffic = nf::generate_constant_rate(
+      {make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 1, 2, 6}, 0, 50_ms,
+      1.45);  // ~101% of the firewall's 1.43 Mpps peak
+  ChainRun run(std::move(traffic), 100_ms);
+  const auto rt = run.reconstruct();
+  const auto& tl = rt.timeline(run.net.nf);
+
+  const TimeNs probe = 40_ms;
+  const auto p0 = core::find_queuing_period(tl, probe, {});
+  ASSERT_TRUE(p0.has_value());
+
+  core::QueuingPeriodOptions opt;
+  opt.queue_threshold = 64;
+  const auto p64 = core::find_queuing_period(tl, probe, opt);
+  ASSERT_TRUE(p64.has_value());
+  EXPECT_GT(p64->start, p0->start);
+  EXPECT_LT(p64->length(), p0->length());
+}
+
+}  // namespace
+}  // namespace microscope

@@ -1,0 +1,182 @@
+// Cross-module integration tests: the shared-memory collector path feeding
+// reconstruction, end-to-end determinism, and a combined-fault scenario.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "microscope/microscope.hpp"
+
+namespace microscope {
+namespace {
+
+/// Adapter: lets the dataplane write through a RingCollector (runtime path)
+/// while tests compare against the direct in-memory path.
+class RingTap : public collector::Collector {
+  // The dataplane talks to collector::Collector; RingCollector has the same
+  // method names but no common base. Rather than virtualize the hot path,
+  // run the experiment twice — once direct, once replaying the direct
+  // records through the wire format — and require identical stores.
+};
+
+TEST(Integration, WireRoundTripPreservesEverythingDiagnosisNeeds) {
+  // Run a dataplane with the direct collector, then push every record
+  // through encode/decode and check the decoded store reconstructs to the
+  // same journeys.
+  sim::Simulator sim;
+  collector::Collector direct;
+  auto net = eval::build_single_firewall(sim, &direct, 700);
+  nf::CaidaLikeOptions topts;
+  topts.duration = 10_ms;
+  topts.rate_mpps = 0.7;
+  auto traffic = nf::generate_caida_like(topts);
+  nf::inject_burst(traffic, {make_ipv4(9, 9, 9, 9), make_ipv4(8, 8, 8, 8),
+                             1, 2, 6},
+                   4_ms, 800, 150, 1);
+  net.topo->source(net.source).load(std::move(traffic));
+  sim.run_until(20_ms);
+
+  // Replay through the wire format.
+  collector::CollectorOptions copts;
+  copts.ground_truth = false;  // the wire carries no ground truth
+  collector::Collector decoded(copts);
+  const trace::GraphView graph = trace::graph_view(*net.topo);
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (!direct.has_node(id)) continue;
+    decoded.register_node(id, direct.node(id).full_flow);
+  }
+  collector::WireDecoder dec(decoded);
+  std::vector<std::byte> buf;
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (!direct.has_node(id)) continue;
+    const auto& t = direct.node(id);
+    for (const auto& rec : t.rx_batches) {
+      std::vector<Packet> pkts(rec.count);
+      for (std::uint16_t i = 0; i < rec.count; ++i)
+        pkts[i].ipid = t.rx_ipids[rec.begin + i];
+      buf.clear();
+      collector::encode_batch(buf, collector::Direction::kRx, id,
+                              kInvalidNode, rec.ts, pkts, false);
+      dec.feed(buf);
+    }
+    for (const auto& rec : t.tx_batches) {
+      std::vector<Packet> pkts(rec.count);
+      for (std::uint16_t i = 0; i < rec.count; ++i) {
+        pkts[i].ipid = t.tx_ipids[rec.begin + i];
+        if (t.full_flow) pkts[i].flow = t.tx_flows[rec.begin + i];
+      }
+      buf.clear();
+      collector::encode_batch(buf, collector::Direction::kTx, id, rec.peer,
+                              rec.ts, pkts, t.full_flow);
+      dec.feed(buf);
+    }
+  }
+
+  // NOTE: the decoded store interleaves rx/tx differently (records were
+  // replayed per node), but batch contents and timestamps are identical —
+  // which is all reconstruction consumes.
+  const auto rt_direct = trace::reconstruct(direct, graph, {});
+  const auto rt_decoded = trace::reconstruct(decoded, graph, {});
+  ASSERT_EQ(rt_direct.journeys().size(), rt_decoded.journeys().size());
+  for (std::size_t i = 0; i < rt_direct.journeys().size(); i += 97) {
+    const auto& a = rt_direct.journeys()[i];
+    const auto& b = rt_decoded.journeys()[i];
+    EXPECT_EQ(a.fate, b.fate);
+    EXPECT_EQ(a.flow, b.flow);
+    EXPECT_EQ(a.source_time, b.source_time);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].arrival, b.hops[h].arrival);
+      EXPECT_EQ(a.hops[h].depart, b.hops[h].depart);
+    }
+  }
+}
+
+TEST(Integration, ExperimentsAreDeterministic) {
+  eval::ExperimentConfig cfg;
+  cfg.traffic.duration = 120_ms;
+  cfg.traffic.rate_mpps = 1.0;
+  cfg.plan.bursts = 1;
+  cfg.plan.interrupts = 1;
+  cfg.plan.bug_triggers = 1;
+  cfg.plan.first_at = 30_ms;
+  cfg.plan.spacing = 30_ms;
+  cfg.seed = 5;
+
+  auto run = [&cfg]() {
+    auto ex = eval::run_experiment(cfg);
+    const auto rt = ex.reconstruct();
+    core::Diagnoser diag(rt, ex.peak_rates());
+    const auto victims = diag.latency_victims_by_threshold(150_us);
+    double score_sum = 0;
+    for (std::size_t i = 0; i < victims.size(); i += 13) {
+      for (const auto& rel : diag.diagnose(victims[i]).relations)
+        score_sum += rel.score;
+    }
+    return std::make_tuple(rt.journeys().size(), victims.size(), score_sum);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_DOUBLE_EQ(std::get<2>(a), std::get<2>(b));
+}
+
+TEST(Integration, ConcurrentFaultsBothDiagnosed) {
+  // A burst and an interrupt at overlapping times on different chains:
+  // victims of each must be attributed to their own fault.
+  sim::Simulator sim;
+  collector::Collector col;
+  auto net = eval::build_fig10(sim, &col);
+
+  nf::CaidaLikeOptions topts;
+  topts.duration = 60_ms;
+  topts.rate_mpps = 1.0;
+  topts.num_flows = 800;
+  topts.seed = 9;
+  auto traffic = nf::generate_caida_like(topts);
+
+  FiveTuple burst_flow{make_ipv4(10, 77, 0, 1), make_ipv4(172, 31, 9, 9),
+                       7171, 443, 6};
+  nf::inject_burst(traffic, burst_flow, 20_ms, 1800, 120, 1);
+  const NodeId burst_nat = net.nat_for_flow(burst_flow);
+
+  // Interrupt a NAT on a *different* chain, at the same time.
+  NodeId other_nat = kInvalidNode;
+  for (const NodeId nat : net.nats)
+    if (nat != burst_nat) other_nat = nat;
+  nf::InjectionLog log;
+  nf::schedule_interrupt(sim, net.topo->nf(other_nat), 20_ms, 900_us, log);
+
+  net.topo->source(net.source).load(std::move(traffic));
+  sim.run_until(80_ms);
+
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = net.topo->options().prop_delay;
+  const auto rt = trace::reconstruct(col, trace::graph_view(*net.topo), ropt);
+  core::Diagnoser diag(rt, net.topo->peak_rates());
+
+  std::size_t burst_hits = 0, burst_total = 0;
+  std::size_t intr_hits = 0, intr_total = 0;
+  for (const auto& v : diag.latency_victims_by_threshold(150_us)) {
+    if (v.time < 20_ms || v.time > 26_ms) continue;
+    const auto ranked = core::rank_causes(diag.diagnose(v));
+    if (ranked.empty()) continue;
+    if (v.node == burst_nat) {
+      ++burst_total;
+      if (ranked[0].culprit.node == net.source &&
+          !ranked[0].flows.empty() && ranked[0].flows[0].flow == burst_flow)
+        ++burst_hits;
+    } else if (v.node == other_nat) {
+      ++intr_total;
+      if (ranked[0].culprit.node == other_nat &&
+          ranked[0].culprit.kind == core::CauseKind::kLocalProcessing)
+        ++intr_hits;
+    }
+  }
+  ASSERT_GT(burst_total, 20u);
+  ASSERT_GT(intr_total, 20u);
+  EXPECT_GE(static_cast<double>(burst_hits) / burst_total, 0.9);
+  EXPECT_GE(static_cast<double>(intr_hits) / intr_total, 0.9);
+}
+
+}  // namespace
+}  // namespace microscope

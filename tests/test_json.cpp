@@ -1,0 +1,126 @@
+// Tests for the JSON report output.
+#include <gtest/gtest.h>
+
+#include "eval/json.hpp"
+
+namespace microscope::eval {
+namespace {
+
+autofocus::NfCatalog cat3() {
+  autofocus::NfCatalog cat;
+  cat.node_names = {"sink", "src", "fw1"};
+  cat.type_names = {"sink", "source", "fw"};
+  cat.type_of = {0, 1, 2};
+  return cat;
+}
+
+core::Diagnosis sample_diagnosis() {
+  core::Diagnosis d;
+  d.victim.node = 2;
+  d.victim.kind = core::Victim::Kind::kHighLatency;
+  d.victim.time = 1'234'567;
+  d.victim.hop_latency = 88'000;
+  d.victim.e2e_latency = 99'000;
+  d.victim.flow = {make_ipv4(10, 0, 0, 1), make_ipv4(20, 0, 0, 2), 1111, 443,
+                   6};
+  core::CausalRelation rel;
+  rel.culprit = {1, core::CauseKind::kSourceTraffic};
+  rel.score = 12.5;
+  rel.culprit_t0 = 1'000'000;
+  rel.culprit_t1 = 1'100'000;
+  rel.flows.push_back({d.victim.flow, 12.5});
+  d.relations.push_back(rel);
+  return d;
+}
+
+/// Minimal structural check: balanced braces/brackets outside strings and
+/// no raw control characters.
+void expect_wellformed(const std::string& s) {
+  int brace = 0, bracket = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : s) {
+    ASSERT_GE(static_cast<unsigned char>(c), 0x20) << "raw control char";
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+        ++brace;
+        break;
+      case '}':
+        --brace;
+        break;
+      case '[':
+        ++bracket;
+        break;
+      case ']':
+        --bracket;
+        break;
+    }
+    ASSERT_GE(brace, 0);
+    ASSERT_GE(bracket, 0);
+  }
+  EXPECT_EQ(brace, 0);
+  EXPECT_EQ(bracket, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, DiagnosisSerializes) {
+  const auto cat = cat3();
+  const auto d = sample_diagnosis();
+  const std::string j = diagnosis_to_json(d, cat);
+  expect_wellformed(j);
+  EXPECT_NE(j.find("\"node\":\"fw1\""), std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"source-traffic\""), std::string::npos);
+  EXPECT_NE(j.find("\"time_ns\":1234567"), std::string::npos);
+  EXPECT_NE(j.find("\"src\":\"10.0.0.1\""), std::string::npos);
+  EXPECT_NE(j.find("\"score\":12.5"), std::string::npos);
+}
+
+TEST(Json, ReportSerializesAndCaps) {
+  const auto cat = cat3();
+  std::vector<core::Diagnosis> ds(5, sample_diagnosis());
+  autofocus::Pattern p;
+  p.culprit = autofocus::SideKey::leaf(ds[0].victim.flow, 2, cat);
+  p.victim = p.culprit;
+  p.score = 3.0;
+  const std::string j = report_to_json(
+      ds, cat, std::span<const autofocus::Pattern>(&p, 1), /*max=*/2);
+  expect_wellformed(j);
+  EXPECT_NE(j.find("\"victims\":5"), std::string::npos);
+  // Capped at 2 embedded diagnoses.
+  std::size_t count = 0;
+  for (std::size_t pos = 0;
+       (pos = j.find("\"causes\"", pos)) != std::string::npos; ++pos)
+    ++count;
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(j.find("\"patterns\":["), std::string::npos);
+  EXPECT_NE(j.find("fw1"), std::string::npos);
+}
+
+TEST(Json, EmptyReport) {
+  const auto cat = cat3();
+  const std::string j = report_to_json({}, cat, {});
+  expect_wellformed(j);
+  EXPECT_EQ(j, "{\"victims\":0,\"diagnoses\":[],\"patterns\":[]}");
+}
+
+}  // namespace
+}  // namespace microscope::eval

@@ -1,0 +1,348 @@
+// Unit tests for the NF dataplane: queue semantics, batching, interrupts,
+// NF type behaviours, and peak-rate calibration.
+#include <gtest/gtest.h>
+
+#include "nf/calibrate.hpp"
+#include "nf/nf.hpp"
+#include "nf/nf_types.hpp"
+#include "nf/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+namespace {
+
+Packet make_packet(std::uint64_t uid, std::uint16_t sport = 1000) {
+  Packet p;
+  p.uid = uid;
+  p.ipid = static_cast<std::uint16_t>(uid);
+  p.flow = {make_ipv4(10, 0, 0, 1), make_ipv4(20, 0, 0, 1), sport, 80, 6};
+  return p;
+}
+
+TEST(PacketQueue, FifoAndCapacity) {
+  PacketQueue q(3);
+  EXPECT_TRUE(q.push(make_packet(1)));
+  EXPECT_TRUE(q.push(make_packet(2)));
+  EXPECT_TRUE(q.push(make_packet(3)));
+  EXPECT_FALSE(q.push(make_packet(4)));  // full => drop
+  EXPECT_EQ(q.drops(), 1u);
+  auto batch = q.pop_batch(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].uid, 1u);
+  EXPECT_EQ(batch[1].uid, 2u);
+  EXPECT_EQ(q.size(), 1u);
+  batch = q.pop_batch(10);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].uid, 3u);
+  EXPECT_TRUE(q.empty());
+}
+
+/// Network that records deliveries with their timestamps.
+class RecordingNetwork : public Network {
+ public:
+  struct Rec {
+    NodeId from, to;
+    TimeNs when;
+    std::vector<Packet> pkts;
+  };
+  void deliver(NodeId from, NodeId to, TimeNs when,
+               std::vector<Packet> batch) override {
+    recs.push_back({from, to, when, std::move(batch)});
+  }
+  std::vector<Rec> recs;
+};
+
+class TestNf : public NfInstance {
+ public:
+  using NfInstance::NfInstance;
+};
+
+NfConfig basic_cfg(DurationNs service = 100) {
+  NfConfig cfg;
+  cfg.name = "test";
+  cfg.base_service_ns = service;
+  cfg.max_batch = 4;
+  cfg.queue_capacity = 16;
+  return cfg;
+}
+
+TEST(NfInstance, ProcessesBatchesInOrder) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  TestNf nf(sim, 1, basic_cfg(100), nullptr);
+  nf.set_network(&net);
+  nf.set_router([](const Packet&) { return NodeId{9}; });
+  nf.set_prop_delay(0);
+
+  sim.schedule_at(0, [&] {
+    for (int i = 0; i < 6; ++i) nf.enqueue(make_packet(i));
+  });
+  sim.run_all();
+  // max_batch 4 => two batches: 4 at t=400, 2 at t=600.
+  ASSERT_EQ(net.recs.size(), 2u);
+  EXPECT_EQ(net.recs[0].when, 400);
+  EXPECT_EQ(net.recs[0].pkts.size(), 4u);
+  EXPECT_EQ(net.recs[1].when, 600);
+  EXPECT_EQ(net.recs[1].pkts.size(), 2u);
+  EXPECT_EQ(net.recs[0].pkts[0].uid, 0u);
+  EXPECT_EQ(net.recs[1].pkts[1].uid, 5u);
+  EXPECT_EQ(nf.packets_processed(), 6u);
+  EXPECT_EQ(nf.busy_ns(), 600);
+}
+
+TEST(NfInstance, PauseDelaysIdleNf) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  TestNf nf(sim, 1, basic_cfg(100), nullptr);
+  nf.set_network(&net);
+  nf.set_router([](const Packet&) { return NodeId{9}; });
+  nf.set_prop_delay(0);
+
+  sim.schedule_at(0, [&] { nf.pause(1000); });
+  sim.schedule_at(100, [&] { nf.enqueue(make_packet(1)); });
+  sim.run_all();
+  ASSERT_EQ(net.recs.size(), 1u);
+  // Polling can only start when the interrupt ends at t=1000.
+  EXPECT_EQ(net.recs[0].when, 1100);
+}
+
+TEST(NfInstance, PauseExtendsInflightBatch) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  TestNf nf(sim, 1, basic_cfg(100), nullptr);
+  nf.set_network(&net);
+  nf.set_router([](const Packet&) { return NodeId{9}; });
+  nf.set_prop_delay(0);
+
+  sim.schedule_at(0, [&] { nf.enqueue(make_packet(1)); });  // finishes at 100
+  sim.schedule_at(50, [&] { nf.pause(500); });              // steals the core
+  sim.run_all();
+  ASSERT_EQ(net.recs.size(), 1u);
+  EXPECT_EQ(net.recs[0].when, 600);  // 100 + 500
+}
+
+TEST(NfInstance, OverlappingPausesExtend) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  TestNf nf(sim, 1, basic_cfg(100), nullptr);
+  nf.set_network(&net);
+  nf.set_router([](const Packet&) { return NodeId{9}; });
+  nf.set_prop_delay(0);
+
+  sim.schedule_at(0, [&] { nf.pause(1000); });
+  sim.schedule_at(500, [&] { nf.pause(1000); });  // extends to 2000
+  sim.schedule_at(600, [&] { nf.enqueue(make_packet(1)); });
+  sim.run_all();
+  ASSERT_EQ(net.recs.size(), 1u);
+  EXPECT_EQ(net.recs[0].when, 2100);
+  ASSERT_EQ(nf.pause_intervals().size(), 2u);
+  EXPECT_EQ(nf.pause_intervals()[1].end, 2000);
+}
+
+TEST(NfInstance, DropLogRecordsOverflow) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  NfConfig cfg = basic_cfg(1000);
+  cfg.queue_capacity = 2;
+  TestNf nf(sim, 1, cfg, nullptr);
+  nf.set_network(&net);
+  nf.set_router([](const Packet&) { return NodeId{9}; });
+  std::vector<DropEvent> drops;
+  nf.set_drop_log(&drops);
+
+  sim.schedule_at(0, [&] {
+    for (int i = 0; i < 5; ++i) nf.enqueue(make_packet(i));
+  });
+  sim.run_all();
+  // The poll event fires after the whole enqueue event (stable ordering at
+  // equal timestamps): capacity 2 admits the first two, drops three.
+  EXPECT_EQ(nf.input_drops(), 3u);
+  ASSERT_EQ(drops.size(), 3u);
+  EXPECT_EQ(drops[0].node, 1u);
+}
+
+TEST(NfInstance, PeakRateMatchesConfig) {
+  sim::Simulator sim;
+  TestNf nf(sim, 1, basic_cfg(500), nullptr);
+  EXPECT_NEAR(nf.peak_rate().mpps(), 2.0, 1e-9);
+  NfConfig cfg = basic_cfg(500);
+  cfg.batch_overhead_ns = 500;  // 4 pkts per (500 + 4*500) ns
+  TestNf nf2(sim, 2, cfg, nullptr);
+  EXPECT_NEAR(nf2.peak_rate().mpps(), 4.0 / 2.5e3 * 1e3, 1e-6);
+}
+
+TEST(Calibration, MeasuredMatchesNominal) {
+  const NfFactory factory = [](sim::Simulator& s, NodeId id,
+                               collector::Collector* c) {
+    NfConfig cfg;
+    cfg.name = "cal";
+    cfg.base_service_ns = 500;  // 2 Mpps
+    cfg.max_batch = 32;
+    return std::make_unique<TestNf>(s, id, cfg, c);
+  };
+  const auto res = measure_peak_rate(factory, 20_ms);
+  EXPECT_NEAR(res.measured.mpps(), 2.0, 0.05);
+}
+
+TEST(Nat, RewriteIsDeterministicAndRecorded) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  NfConfig cfg = basic_cfg(100);
+  const std::uint32_t pub = make_ipv4(100, 64, 0, 1);
+  Nat nat(sim, 1, cfg, nullptr, pub);
+  nat.set_network(&net);
+  nat.set_router([](const Packet&) { return NodeId{9}; });
+
+  sim.schedule_at(0, [&] {
+    nat.enqueue(make_packet(1, 1000));
+    nat.enqueue(make_packet(2, 1000));  // same flow
+    nat.enqueue(make_packet(3, 2000));  // different flow
+  });
+  sim.run_all();
+  ASSERT_EQ(net.recs.size(), 1u);
+  const auto& pkts = net.recs[0].pkts;
+  ASSERT_EQ(pkts.size(), 3u);
+  EXPECT_EQ(pkts[0].flow.src_ip, pub);
+  EXPECT_EQ(pkts[0].flow.src_port, pkts[1].flow.src_port);  // same flow
+  EXPECT_EQ(nat.table_size(), 2u);
+  // Matches the static translation helper.
+  EXPECT_EQ(pkts[0].flow, Nat::translate(make_packet(1, 1000).flow, pub));
+}
+
+TEST(FlowMatcherTest, MatchesRangesAndPrefixes) {
+  FlowMatcher m;
+  m.src = {make_ipv4(10, 0, 0, 0), 8};
+  m.dst_port_lo = 80;
+  m.dst_port_hi = 90;
+  m.proto = 6;
+  FiveTuple ft{make_ipv4(10, 1, 1, 1), make_ipv4(20, 0, 0, 1), 999, 85, 6};
+  EXPECT_TRUE(m.matches(ft));
+  ft.dst_port = 91;
+  EXPECT_FALSE(m.matches(ft));
+  ft.dst_port = 85;
+  ft.proto = 17;
+  EXPECT_FALSE(m.matches(ft));
+  ft.proto = 6;
+  ft.src_ip = make_ipv4(11, 1, 1, 1);
+  EXPECT_FALSE(m.matches(ft));
+}
+
+TEST(FirewallTest, RoutesByRuleAndDrops) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  std::vector<FwRule> rules;
+  FwRule to_mon;
+  to_mon.match.dst_port_lo = 80;
+  to_mon.match.dst_port_hi = 80;
+  to_mon.action = FwAction::kToMonitor;
+  rules.push_back(to_mon);
+  FwRule drop;
+  drop.match.dst_port_lo = 23;
+  drop.match.dst_port_hi = 23;
+  drop.action = FwAction::kDrop;
+  rules.push_back(drop);
+
+  Firewall fw(sim, 1, basic_cfg(100), nullptr, rules);
+  fw.set_network(&net);
+  fw.set_monitor_router([](const Packet&) { return NodeId{7}; });
+  fw.set_vpn_router([](const Packet&) { return NodeId{8}; });
+
+  Packet web = make_packet(1);
+  web.flow.dst_port = 80;
+  Packet telnet = make_packet(2);
+  telnet.flow.dst_port = 23;
+  Packet other = make_packet(3);
+  other.flow.dst_port = 443;
+
+  sim.schedule_at(0, [&] {
+    fw.enqueue(web);
+    fw.enqueue(telnet);
+    fw.enqueue(other);
+  });
+  sim.run_all();
+  EXPECT_EQ(fw.policy_drops(), 1u);
+  ASSERT_EQ(net.recs.size(), 2u);  // one batch to monitor, one to vpn
+  EXPECT_EQ(net.recs[0].to, 7u);
+  EXPECT_EQ(net.recs[1].to, 8u);
+}
+
+TEST(FirewallTest, BugSlowsMatchingFlows) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  Firewall fw(sim, 1, basic_cfg(100), nullptr, {});
+  fw.set_network(&net);
+  fw.set_vpn_router([](const Packet&) { return NodeId{8}; });
+  fw.set_monitor_router([](const Packet&) { return NodeId{7}; });
+
+  FirewallBug bug;
+  bug.match.dst_port_lo = 6000;
+  bug.match.dst_port_hi = 6008;
+  bug.slow_service_ns = 10'000;
+  fw.set_bug(bug);
+
+  Packet slow = make_packet(1);
+  slow.flow.dst_port = 6004;
+  Packet fast = make_packet(2);
+  fast.flow.dst_port = 443;
+
+  sim.schedule_at(0, [&] {
+    fw.enqueue(slow);
+    fw.enqueue(fast);
+  });
+  sim.run_all();
+  ASSERT_EQ(net.recs.size(), 1u);
+  EXPECT_EQ(net.recs[0].when, 10'100 + 1000);  // 10us bug + 100ns + prop 1us
+  fw.clear_bug();
+  EXPECT_FALSE(fw.has_bug());
+}
+
+TEST(MonitorTest, CountsPerFlow) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  Monitor mon(sim, 1, basic_cfg(100), nullptr);
+  mon.set_network(&net);
+  mon.set_router([](const Packet&) { return NodeId{9}; });
+  sim.schedule_at(0, [&] {
+    mon.enqueue(make_packet(1, 1000));
+    mon.enqueue(make_packet(2, 1000));
+    mon.enqueue(make_packet(3, 2000));
+  });
+  sim.run_all();
+  ASSERT_EQ(mon.stats().size(), 2u);
+  const auto it = mon.stats().find(make_packet(1, 1000).flow);
+  ASSERT_NE(it, mon.stats().end());
+  EXPECT_EQ(it->second.packets, 2u);
+  EXPECT_EQ(it->second.bytes, 128u);
+}
+
+TEST(VpnTest, PerByteCostAndEncap) {
+  sim::Simulator sim;
+  RecordingNetwork net;
+  Vpn vpn(sim, 1, basic_cfg(100), nullptr, /*per_byte_ns=*/2,
+          /*encap_bytes=*/40);
+  vpn.set_network(&net);
+  vpn.set_router([](const Packet&) { return NodeId{9}; });
+  vpn.set_prop_delay(0);
+  Packet p = make_packet(1);
+  p.size_bytes = 64;
+  sim.schedule_at(0, [&] { vpn.enqueue(p); });
+  sim.run_all();
+  ASSERT_EQ(net.recs.size(), 1u);
+  EXPECT_EQ(net.recs[0].when, 100 + 2 * 64);
+  EXPECT_EQ(net.recs[0].pkts[0].size_bytes, 104u);
+  // Peak rate accounts for the per-byte cost at 64 B.
+  EXPECT_NEAR(vpn.peak_rate().mpps(), 1e3 / 228.0, 1e-6);
+}
+
+TEST(NfInstance, RejectsBadConfig) {
+  sim::Simulator sim;
+  NfConfig cfg = basic_cfg();
+  cfg.max_batch = 0;
+  EXPECT_THROW(TestNf(sim, 1, cfg, nullptr), std::invalid_argument);
+  NfConfig cfg2 = basic_cfg();
+  cfg2.base_service_ns = 0;
+  EXPECT_THROW(TestNf(sim, 1, cfg2, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace microscope::nf

@@ -1,0 +1,187 @@
+// Tests for trace-file persistence, the rate limiter NF, and the operator
+// report renderer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "eval/scenarios.hpp"
+#include "microscope/microscope.hpp"
+
+namespace microscope {
+namespace {
+
+TEST(TraceFile, RoundTripPreservesRecords) {
+  sim::Simulator sim;
+  collector::Collector col;
+  auto net = eval::build_single_firewall(sim, &col, 700);
+  nf::CaidaLikeOptions topts;
+  topts.duration = 5_ms;
+  topts.rate_mpps = 0.6;
+  net.topo->source(net.source).load(nf::generate_caida_like(topts));
+  sim.run_until(10_ms);
+
+  const std::string path = "/tmp/microscope_test.trace";
+  collector::save_trace(col, path);
+  const collector::Collector loaded = collector::load_trace(path);
+  std::remove(path.c_str());
+
+  const trace::GraphView graph = trace::graph_view(*net.topo);
+  for (NodeId id = 0; id < graph.node_count(); ++id) {
+    if (!col.has_node(id)) continue;
+    ASSERT_TRUE(loaded.has_node(id));
+    const auto& a = col.node(id);
+    const auto& b = loaded.node(id);
+    ASSERT_EQ(a.rx_batches.size(), b.rx_batches.size());
+    ASSERT_EQ(a.tx_batches.size(), b.tx_batches.size());
+    ASSERT_EQ(a.rx_ipids, b.rx_ipids);
+    ASSERT_EQ(a.tx_ipids, b.tx_ipids);
+    ASSERT_EQ(a.tx_flows, b.tx_flows);
+    for (std::size_t i = 0; i < a.rx_batches.size(); ++i) {
+      EXPECT_EQ(a.rx_batches[i].ts, b.rx_batches[i].ts);
+      EXPECT_EQ(a.rx_batches[i].count, b.rx_batches[i].count);
+    }
+    for (std::size_t i = 0; i < a.tx_batches.size(); ++i) {
+      EXPECT_EQ(a.tx_batches[i].peer, b.tx_batches[i].peer);
+      EXPECT_EQ(a.tx_batches[i].ts, b.tx_batches[i].ts);
+    }
+    // The file carries no ground truth.
+    EXPECT_TRUE(b.rx_uids.empty());
+  }
+
+  // Reconstruction from the loaded store gives the same journey count.
+  const auto rt_a = trace::reconstruct(col, graph, {});
+  const auto rt_b = trace::reconstruct(loaded, graph, {});
+  EXPECT_EQ(rt_a.journeys().size(), rt_b.journeys().size());
+}
+
+TEST(TraceFile, RejectsGarbage) {
+  const std::string path = "/tmp/microscope_garbage.trace";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a trace";
+  }
+  EXPECT_THROW(collector::load_trace(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(collector::load_trace("/nonexistent/nope.trace"),
+               std::runtime_error);
+}
+
+TEST(RateLimiter, ShapesBurstToConfiguredRate) {
+  sim::Simulator sim;
+  collector::Collector col;
+  nf::Topology topo(sim, &col);
+  auto& src = topo.add_source("s");
+  nf::NfConfig cfg;
+  cfg.name = "shaper";
+  cfg.base_service_ns = 100;
+  cfg.record_full_flow = true;
+  auto& shaper = topo.add_rate_limiter(cfg, /*rate_mpps=*/0.5,
+                                       /*bucket_depth=*/8);
+  src.set_router([id = shaper.id()](const Packet&) { return id; });
+  shaper.set_router([s = topo.sink_id()](const Packet&) { return s; });
+  topo.add_edge(src.id(), shaper.id());
+  topo.add_edge(shaper.id(), topo.sink_id());
+
+  // A 400-packet burst at 5 Mpps into a 0.5 Mpps shaper.
+  FiveTuple flow{make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 1, 2, 6};
+  src.load(nf::generate_constant_rate(flow, 0, 80_us, 5.0));
+  sim.run_until(5_ms);
+
+  const auto& dv = topo.deliveries();
+  ASSERT_EQ(dv.size(), 400u);
+  // Output spacing approaches the pacing gap (2 us) once tokens run out:
+  // 400 packets should take roughly 400 * 2 us = 800 us, not 80 us.
+  const TimeNs span = dv.back().arrival - dv.front().arrival;
+  EXPECT_GT(span, 550_us);
+  EXPECT_LT(span, 1_ms);
+  // Peak rate reflects the shaping limit, not the nominal service cost.
+  EXPECT_NEAR(shaper.peak_rate().mpps(), 0.5, 0.01);
+}
+
+TEST(RateLimiter, TimespanIncreaseGetsNoBlame) {
+  // source -> shaper -> vpn. A burst is *paced out* by the shaper, so the
+  // shaper increases the PreSet timespan and §4.2 must give it zero score;
+  // the source keeps the blame.
+  sim::Simulator sim;
+  collector::Collector col;
+  nf::Topology topo(sim, &col);
+  auto& src = topo.add_source("s");
+  nf::NfConfig scfg;
+  scfg.name = "shaper";
+  scfg.base_service_ns = 100;
+  auto& shaper = topo.add_rate_limiter(scfg, /*rate_mpps=*/1.0, 16);
+  nf::NfConfig vcfg;
+  vcfg.name = "vpn";
+  vcfg.base_service_ns = 1100;  // ~0.9 Mpps: slower than the shaper
+  vcfg.record_full_flow = true;
+  auto& vpn = topo.add_vpn(vcfg, 0);
+  src.set_router([id = shaper.id()](const Packet&) { return id; });
+  shaper.set_router([id = vpn.id()](const Packet&) { return id; });
+  vpn.set_router([s = topo.sink_id()](const Packet&) { return s; });
+  topo.add_edge(src.id(), shaper.id());
+  topo.add_edge(shaper.id(), vpn.id());
+  topo.add_edge(vpn.id(), topo.sink_id());
+
+  nf::CaidaLikeOptions topts;
+  topts.duration = 20_ms;
+  topts.rate_mpps = 0.5;
+  auto traffic = nf::generate_caida_like(topts);
+  FiveTuple burst{make_ipv4(9, 9, 9, 9), make_ipv4(8, 8, 8, 8), 1, 2, 6};
+  nf::inject_burst(traffic, burst, 8_ms, 1200, 150, 1);
+  src.load(std::move(traffic));
+  sim.run_until(40_ms);
+
+  const auto rt = trace::reconstruct(col, trace::graph_view(topo), {});
+  core::Diagnoser diag(rt, topo.peak_rates());
+  std::size_t checked = 0, source_blamed = 0, shaper_blamed = 0;
+  for (const auto& v : diag.latency_victims_by_threshold(100_us)) {
+    if (v.node != vpn.id()) continue;
+    if (v.time < 8_ms || v.time > 12_ms) continue;
+    ++checked;
+    const auto ranked = core::rank_causes(diag.diagnose(v));
+    if (ranked.empty()) continue;
+    if (ranked[0].culprit.node == src.id()) ++source_blamed;
+    if (ranked[0].culprit.node == shaper.id()) ++shaper_blamed;
+  }
+  ASSERT_GT(checked, 5u);
+  EXPECT_GT(source_blamed, shaper_blamed);
+}
+
+TEST(Report, RendersCulpritsAndPatterns) {
+  core::Diagnosis d;
+  d.victim.node = 2;
+  d.victim.flow = {make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 10, 20, 6};
+  core::CausalRelation rel;
+  rel.culprit = {2, core::CauseKind::kLocalProcessing};
+  rel.score = 42.0;
+  rel.culprit_t0 = 1_ms;
+  rel.culprit_t1 = 2_ms;
+  rel.flows.push_back({d.victim.flow, 42.0});
+  d.relations.push_back(rel);
+
+  autofocus::NfCatalog cat;
+  cat.node_names = {"sink", "src", "fw1"};
+  cat.type_names = {"sink", "source", "fw"};
+  cat.type_of = {0, 1, 2};
+
+  autofocus::Pattern p;
+  p.culprit = autofocus::SideKey::leaf(d.victim.flow, 2, cat);
+  p.victim = autofocus::SideKey::leaf(d.victim.flow, 2, cat);
+  p.kind = core::CauseKind::kLocalProcessing;
+  p.score = 42.0;
+
+  std::ostringstream os;
+  eval::print_diagnosis_report(os, std::span<const core::Diagnosis>(&d, 1),
+                               cat, std::span<const autofocus::Pattern>(&p, 1));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fw1"), std::string::npos);
+  EXPECT_NE(out.find("local-processing"), std::string::npos);
+  EXPECT_NE(out.find("ranked culprits"), std::string::npos);
+  EXPECT_NE(out.find("causal patterns"), std::string::npos);
+  EXPECT_NE(out.find("1.1.1.1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace microscope

@@ -1,0 +1,166 @@
+// Robustness tests: adversarial inputs to the wire decoder, degenerate
+// topologies, empty traces, and boundary conditions across the API.
+#include <gtest/gtest.h>
+
+#include "eval/scenarios.hpp"
+#include "microscope/microscope.hpp"
+
+namespace microscope {
+namespace {
+
+TEST(Robustness, WireDecoderSurvivesGarbage) {
+  // The wire stream is trusted in deployment (same host), but the decoder
+  // must not crash or allocate unboundedly on corrupted bytes.
+  collector::Collector sink;
+  sink.register_node(1, false);
+  collector::WireDecoder dec(sink);
+  Rng rng(99);
+  std::vector<std::byte> garbage(4096);
+  for (auto& b : garbage) b = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  // Feeding garbage may decode nonsense records (possibly throwing on an
+  // unknown node id) or stall buffering a huge length prefix; either way it
+  // must not crash or corrupt memory.
+  try {
+    dec.feed(garbage);
+  } catch (const std::exception&) {
+    // acceptable: garbage referenced an unregistered node
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, WireDecoderUnknownNodeDefaultsToNoFlows) {
+  // A tx record for a node the sink does not know: decoder treats it as
+  // not-full-flow; the collector then rejects the unknown node.
+  collector::Collector sink;
+  sink.register_node(1, false);
+  collector::WireDecoder dec(sink);
+  std::vector<std::byte> buf;
+  Packet p;
+  p.ipid = 7;
+  collector::encode_batch(buf, collector::Direction::kRx, /*node=*/42,
+                          kInvalidNode, 100, std::span<const Packet>(&p, 1),
+                          false);
+  EXPECT_THROW(dec.feed(buf), std::out_of_range);
+}
+
+TEST(Robustness, ReconstructEmptyCollector) {
+  sim::Simulator sim;
+  collector::Collector col;
+  nf::Topology topo(sim, &col);
+  auto& src = topo.add_source("s");
+  (void)src;
+  const auto rt = trace::reconstruct(col, trace::graph_view(topo), {});
+  EXPECT_TRUE(rt.journeys().empty());
+  core::Diagnoser diag(rt, topo.peak_rates());
+  EXPECT_TRUE(diag.latency_victims_by_threshold(1).empty());
+  EXPECT_TRUE(diag.drop_victims().empty());
+}
+
+TEST(Robustness, DiagnoseVictimAtUnknownNode) {
+  sim::Simulator sim;
+  collector::Collector col;
+  auto net = eval::build_single_firewall(sim, &col, 700);
+  net.topo->source(net.source)
+      .load(nf::generate_constant_rate(
+          {make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 1, 2, 6}, 0, 1_ms,
+          0.1));
+  sim.run_until(5_ms);
+  const auto rt = trace::reconstruct(col, trace::graph_view(*net.topo), {});
+  core::Diagnoser diag(rt, net.topo->peak_rates());
+  core::Victim v;
+  v.node = 999;  // no timeline
+  v.time = 500_us;
+  const auto d = diag.diagnose(v);
+  EXPECT_TRUE(d.relations.empty());
+}
+
+TEST(Robustness, PeriodFinderOnEmptyTimeline) {
+  trace::NodeTimeline tl;
+  EXPECT_FALSE(core::find_queuing_period(tl, 1000, {}).has_value());
+  EXPECT_EQ(tl.arrivals_in(0, 1000), 0u);
+  EXPECT_EQ(tl.reads_in(0, 1000), 0u);
+}
+
+TEST(Robustness, AggregateEmptyAndSingleton) {
+  autofocus::NfCatalog cat;
+  cat.node_names = {"sink", "src", "fw1"};
+  cat.type_names = {"sink", "source", "fw"};
+  cat.type_of = {0, 1, 2};
+  EXPECT_TRUE(autofocus::aggregate_patterns({}, cat, {}).empty());
+
+  autofocus::RelationRecord r;
+  r.culprit_flow = {make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 3, 4, 6};
+  r.culprit_nf = 2;
+  r.victim_flow = r.culprit_flow;
+  r.victim_nf = 2;
+  r.score = 5.0;
+  const auto patterns = autofocus::aggregate_patterns(
+      std::span<const autofocus::RelationRecord>(&r, 1), cat, {});
+  ASSERT_FALSE(patterns.empty());
+  EXPECT_NEAR(patterns.front().score, 5.0, 1e-9);
+}
+
+TEST(Robustness, HhhEmptyLeaves) {
+  EXPECT_TRUE(autofocus::side_hhh({}, {}).empty());
+}
+
+TEST(Robustness, TimespanSingleElementAndTies) {
+  // Exact ties between hops (identical timespans) must not double-count.
+  std::vector<core::PathHopSpan> spans{{0, 5.0}, {1, 5.0}, {2, 5.0}};
+  const auto scores = core::attribute_timespan(spans, 10.0, 4.0);
+  double total = 0;
+  for (const auto& s : scores) total += s.score;
+  EXPECT_NEAR(total, 4.0, 1e-9);
+  // All reduction happened "at the source" (t_exp -> T_source).
+  EXPECT_NEAR(scores[0].score, 4.0, 1e-9);
+}
+
+TEST(Robustness, NetMedicOnTinyTrace) {
+  sim::Simulator sim;
+  collector::Collector col;
+  auto net = eval::build_single_firewall(sim, &col, 700);
+  net.topo->source(net.source)
+      .load(nf::generate_constant_rate(
+          {make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 1, 2, 6}, 0, 100_us,
+          0.1));
+  sim.run_until(1_ms);
+  const auto rt = trace::reconstruct(col, trace::graph_view(*net.topo), {});
+  netmedic::NetMedic nm(rt, eval::busy_intervals(*net.topo), {});
+  EXPECT_GE(nm.window_count(), 1u);
+  const auto ranked = nm.diagnose(net.nf, 50_us);
+  EXPECT_FALSE(ranked.empty());
+  // Querying far beyond the trace is clamped, not UB.
+  EXPECT_NO_THROW(nm.diagnose(net.nf, 10'000_ms));
+}
+
+TEST(Robustness, SaveTraceToUnwritablePathThrows) {
+  collector::Collector col;
+  col.register_node(1, false);
+  EXPECT_THROW(collector::save_trace(col, "/nonexistent-dir/x.trace"),
+               std::runtime_error);
+}
+
+TEST(Robustness, SourceWithoutRouterThrows) {
+  sim::Simulator sim;
+  collector::Collector col;
+  nf::Topology topo(sim, &col);
+  auto& src = topo.add_source("s");
+  src.load(nf::generate_constant_rate(
+      {make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 1, 2, 6}, 0, 10_us, 0.5));
+  EXPECT_THROW(sim.run_all(), std::logic_error);
+}
+
+TEST(Robustness, CaidaRejectsBadOptions) {
+  nf::CaidaLikeOptions opts;
+  opts.rate_mpps = 0;
+  EXPECT_THROW(nf::generate_caida_like(opts), std::invalid_argument);
+  opts.rate_mpps = 1.0;
+  opts.num_flows = 0;
+  EXPECT_THROW(nf::generate_caida_like(opts), std::invalid_argument);
+  EXPECT_THROW(
+      nf::generate_constant_rate({}, 0, 1_ms, /*rate_mpps=*/0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace microscope

@@ -1,0 +1,80 @@
+// Unit tests for the discrete-event simulator core.
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableForEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) q.schedule(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeAndEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kTimeNever);
+  EXPECT_THROW(q.run_next(), std::logic_error);
+  q.schedule(42, [] {});
+  EXPECT_EQ(q.next_time(), 42);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, AdvancesClock) {
+  Simulator s;
+  TimeNs seen = -1;
+  s.schedule_at(100, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  for (TimeNs t = 10; t <= 100; t += 10) s.schedule_at(t, [&] { ++count; });
+  const auto executed = s.run_until(50);
+  EXPECT_EQ(executed, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 50);  // clock lands on the boundary
+  s.run_all();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, SchedulingIntoPastThrows) {
+  Simulator s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule_at(50, [] {}), std::logic_error);
+  EXPECT_NO_THROW(s.schedule_at(100, [] {}));  // same time is allowed
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator s;
+  std::vector<TimeNs> fired;
+  std::function<void()> chain = [&] {
+    fired.push_back(s.now());
+    if (fired.size() < 5) s.schedule_after(7, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_all();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{0, 7, 14, 21, 28}));
+}
+
+}  // namespace
+}  // namespace microscope::sim

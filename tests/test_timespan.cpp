@@ -1,0 +1,124 @@
+// Unit + property tests for timespan attribution (paper §4.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/timespan.hpp"
+
+namespace microscope::core {
+namespace {
+
+double total(const std::vector<HopScore>& scores) {
+  double s = 0;
+  for (const auto& h : scores) s += h.score;
+  return s;
+}
+
+TEST(Timespan, CleanChainAttribution) {
+  // Fig. 6 style: T_exp=100; source 80, A 40 (interrupt squeezed), C 20
+  // (queue squeezed). Reductions: source 20, A 40, C 20; denom 80.
+  std::vector<PathHopSpan> spans{{0, 80.0}, {1, 40.0}, {3, 20.0}};
+  const auto scores = attribute_timespan(spans, 100.0, 80.0);
+  ASSERT_EQ(scores.size(), 3u);
+  EXPECT_DOUBLE_EQ(scores[0].score, 20.0);  // source
+  EXPECT_DOUBLE_EQ(scores[1].score, 40.0);  // A
+  EXPECT_DOUBLE_EQ(scores[2].score, 20.0);  // C
+  EXPECT_DOUBLE_EQ(total(scores), 80.0);
+}
+
+TEST(Timespan, IncreaseZeroesHopAndCancelsUpstream) {
+  // The paper's B case: source 10 -> A 4 -> B 6 -> C 3, T_exp 12.
+  // B's increase (+2) cancels part of A's reduction: A's effective
+  // reduction is T_source - T_B = 4; B gets zero; C gets T_B - T_C = 3;
+  // source gets T_exp - T_source = 2. Total = 9 = T_exp - T_C.
+  std::vector<PathHopSpan> spans{{0, 10.0}, {1, 4.0}, {2, 6.0}, {3, 3.0}};
+  const auto scores = attribute_timespan(spans, 12.0, 9.0);
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_DOUBLE_EQ(scores[0].score, 2.0);
+  EXPECT_DOUBLE_EQ(scores[1].score, 4.0);
+  EXPECT_DOUBLE_EQ(scores[2].score, 0.0);
+  EXPECT_DOUBLE_EQ(scores[3].score, 3.0);
+  EXPECT_DOUBLE_EQ(total(scores), 9.0);
+}
+
+TEST(Timespan, IncreaseBeyondAllReductions) {
+  // A hop stretches the timespan beyond T_exp; later compression is the
+  // only one that counts.
+  std::vector<PathHopSpan> spans{{0, 11.0}, {1, 20.0}, {2, 5.0}};
+  const auto scores = attribute_timespan(spans, 12.0, 6.0);
+  EXPECT_DOUBLE_EQ(scores[0].score, 0.0);  // cancelled by the increase
+  EXPECT_DOUBLE_EQ(scores[1].score, 0.0);
+  EXPECT_DOUBLE_EQ(scores[2].score, 6.0);  // all of it
+}
+
+TEST(Timespan, NoCompressionChargesNobody) {
+  // Timespans never dip below T_exp: these packets arrived smoothly; the
+  // path contributed volume, not burstiness, and must not steal blame from
+  // sibling paths that actually compressed.
+  std::vector<PathHopSpan> spans{{0, 15.0}, {1, 16.0}, {2, 15.5}};
+  const auto scores = attribute_timespan(spans, 12.0, 7.0);
+  EXPECT_DOUBLE_EQ(total(scores), 0.0);
+}
+
+TEST(Timespan, ZeroBaseScoreYieldsZeros) {
+  std::vector<PathHopSpan> spans{{0, 5.0}, {1, 2.0}};
+  const auto scores = attribute_timespan(spans, 10.0, 0.0);
+  EXPECT_DOUBLE_EQ(total(scores), 0.0);
+}
+
+TEST(Timespan, EmptyPath) {
+  EXPECT_TRUE(attribute_timespan({}, 10.0, 5.0).empty());
+}
+
+TEST(Timespan, SingleSourceHop) {
+  std::vector<PathHopSpan> spans{{7, 4.0}};
+  const auto scores = attribute_timespan(spans, 10.0, 3.0);
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_EQ(scores[0].node, 7u);
+  EXPECT_DOUBLE_EQ(scores[0].score, 3.0);
+}
+
+/// Property: for random span sequences, scores are non-negative, sum to
+/// the base score exactly (conservation), and hops that increased the
+/// timespan never score.
+class TimespanProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimespanProperty, ConservationNonNegativityZeroOnIncrease) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 1 + rng.uniform_u64(6);
+    const double t_exp = rng.uniform(1.0, 100.0);
+    std::vector<PathHopSpan> spans(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      spans[i].node = static_cast<NodeId>(i);
+      spans[i].timespan = rng.uniform(0.0, 120.0);
+    }
+    const double base = rng.uniform(0.1, 50.0);
+    const auto scores = attribute_timespan(spans, t_exp, base);
+    ASSERT_EQ(scores.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(scores[i].score, 0.0);
+      if (i > 0 && spans[i].timespan >= spans[i - 1].timespan) {
+        EXPECT_DOUBLE_EQ(scores[i].score, 0.0)
+            << "hop that increased the timespan must not score";
+      }
+    }
+    // Mass is either fully attributed (net compression exists) or fully
+    // dropped (the path never compressed below T_exp).
+    const double t = total(scores);
+    EXPECT_TRUE(std::abs(t - base) < 1e-9 || t == 0.0)
+        << "total " << t << " vs base " << base;
+    const double net_compression =
+        t_exp - spans.back().timespan;  // visible from the victim NF
+    if (net_compression > 1e-12) {
+      EXPECT_NEAR(t, base, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimespanProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace microscope::core

@@ -1,0 +1,140 @@
+// Unit tests for synthetic traffic generation and the traffic source.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nf/source.hpp"
+#include "nf/traffic.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+namespace {
+
+TEST(CaidaLike, RespectsRateAndDuration) {
+  CaidaLikeOptions opts;
+  opts.duration = 100_ms;
+  opts.rate_mpps = 0.5;
+  opts.seed = 1;
+  const auto trace = generate_caida_like(opts);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                             [](const SourcePacket& a, const SourcePacket& b) {
+                               return a.t < b.t;
+                             }));
+  EXPECT_LT(trace.back().t, opts.duration);
+  EXPECT_NEAR(measured_rate_mpps(trace), 0.5, 0.05);
+}
+
+TEST(CaidaLike, DeterministicPerSeed) {
+  CaidaLikeOptions opts;
+  opts.duration = 10_ms;
+  opts.seed = 5;
+  const auto a = generate_caida_like(opts);
+  const auto b = generate_caida_like(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].flow, b[i].flow);
+  }
+  opts.seed = 6;
+  const auto c = generate_caida_like(opts);
+  EXPECT_TRUE(a.size() != c.size() ||
+              !std::equal(a.begin(), a.end(), c.begin(),
+                          [](const SourcePacket& x, const SourcePacket& y) {
+                            return x.t == y.t && x.flow == y.flow;
+                          }));
+}
+
+TEST(CaidaLike, HeavyTailedFlowMix) {
+  CaidaLikeOptions opts;
+  opts.duration = 50_ms;
+  opts.rate_mpps = 1.0;
+  opts.num_flows = 1000;
+  const auto trace = generate_caida_like(opts);
+  std::unordered_map<std::uint64_t, std::size_t> counts;
+  for (const SourcePacket& sp : trace) ++counts[flow_hash(sp.flow)];
+  // Zipf: the top flow should carry far more than the mean flow.
+  std::size_t max_count = 0;
+  for (const auto& [h, c] : counts) max_count = std::max(max_count, c);
+  const double mean =
+      static_cast<double>(trace.size()) / static_cast<double>(counts.size());
+  EXPECT_GT(static_cast<double>(max_count), mean * 10);
+}
+
+TEST(ConstantRate, ExactSpacing) {
+  FiveTuple flow{make_ipv4(1, 1, 1, 1), make_ipv4(2, 2, 2, 2), 10, 20, 17};
+  const auto trace =
+      generate_constant_rate(flow, 1_ms, 2_ms, /*rate_mpps=*/0.1, 64, 9);
+  ASSERT_EQ(trace.size(), 200u);  // 0.1 Mpps * 2 ms
+  EXPECT_EQ(trace.front().t, 1_ms);
+  EXPECT_EQ(trace.front().tag, 9u);
+  const auto gap = trace[1].t - trace[0].t;
+  EXPECT_NEAR(static_cast<double>(gap), 10'000.0, 1.0);
+}
+
+TEST(Burst, InjectsSortedAndTagged) {
+  CaidaLikeOptions opts;
+  opts.duration = 10_ms;
+  auto trace = generate_caida_like(opts);
+  const std::size_t before = trace.size();
+  FiveTuple flow{make_ipv4(9, 9, 9, 9), make_ipv4(8, 8, 8, 8), 1, 2, 6};
+  const TimeNs end = inject_burst(trace, flow, 5_ms, 100, 200, 42);
+  EXPECT_EQ(trace.size(), before + 100);
+  EXPECT_EQ(end, 5_ms + 99 * 200);
+  EXPECT_TRUE(std::is_sorted(trace.begin(), trace.end(),
+                             [](const SourcePacket& a, const SourcePacket& b) {
+                               return a.t < b.t;
+                             }));
+  std::size_t tagged = 0;
+  for (const SourcePacket& sp : trace)
+    if (sp.tag == 42) ++tagged;
+  EXPECT_EQ(tagged, 100u);
+}
+
+TEST(MergeTraces, KeepsOrder) {
+  FiveTuple f{};
+  std::vector<SourcePacket> a{{10, f, 64, 0}, {30, f, 64, 0}};
+  std::vector<SourcePacket> b{{20, f, 64, 0}, {40, f, 64, 0}};
+  const auto m = merge_traces(a, b);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_EQ(m[0].t, 10);
+  EXPECT_EQ(m[1].t, 20);
+  EXPECT_EQ(m[2].t, 30);
+  EXPECT_EQ(m[3].t, 40);
+}
+
+TEST(TrafficSourceTest, EmitsWithRecordsAndUniqueIpids) {
+  sim::Simulator sim;
+  collector::Collector col;
+  TrafficSource src(sim, 1, "src", &col);
+
+  struct SinkNet : Network {
+    std::vector<Packet> got;
+    void deliver(NodeId, NodeId, TimeNs, std::vector<Packet> b) override {
+      for (auto& p : b) got.push_back(p);
+    }
+  } net;
+  src.set_network(&net);
+  src.set_router([](const Packet&) { return NodeId{5}; });
+
+  FiveTuple flow{make_ipv4(1, 2, 3, 4), make_ipv4(5, 6, 7, 8), 100, 200, 6};
+  src.load(generate_constant_rate(flow, 0, 1_ms, 1.0));
+  sim.run_all();
+
+  EXPECT_EQ(src.emitted(), 1000u);
+  EXPECT_EQ(net.got.size(), 1000u);
+  // Source records one full-flow tx entry per packet.
+  EXPECT_EQ(col.node(1).tx_flows.size(), 1000u);
+  EXPECT_EQ(col.node(1).tx_batches.size(), 1000u);
+  // IPIDs are sequential (unique until wrap).
+  std::unordered_set<std::uint16_t> ipids;
+  for (const Packet& p : net.got) ipids.insert(p.ipid);
+  EXPECT_EQ(ipids.size(), 1000u);
+  // uids are globally unique and encode the source.
+  EXPECT_EQ(net.got[0].uid >> 40, 1u);
+  EXPECT_THROW(src.load({}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace microscope::nf
