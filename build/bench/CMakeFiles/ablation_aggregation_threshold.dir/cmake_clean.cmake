@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aggregation_threshold.dir/ablation_aggregation_threshold.cpp.o"
+  "CMakeFiles/ablation_aggregation_threshold.dir/ablation_aggregation_threshold.cpp.o.d"
+  "ablation_aggregation_threshold"
+  "ablation_aggregation_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregation_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_threshold.dir/ablation_queue_threshold.cpp.o"
+  "CMakeFiles/ablation_queue_threshold.dir/ablation_queue_threshold.cpp.o.d"
+  "ablation_queue_threshold"
+  "ablation_queue_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

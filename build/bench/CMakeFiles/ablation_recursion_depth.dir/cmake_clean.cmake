@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recursion_depth.dir/ablation_recursion_depth.cpp.o"
+  "CMakeFiles/ablation_recursion_depth.dir/ablation_recursion_depth.cpp.o.d"
+  "ablation_recursion_depth"
+  "ablation_recursion_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recursion_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timestamp_noise.dir/ablation_timestamp_noise.cpp.o"
+  "CMakeFiles/ablation_timestamp_noise.dir/ablation_timestamp_noise.cpp.o.d"
+  "ablation_timestamp_noise"
+  "ablation_timestamp_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timestamp_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_burst_lasting_impact.dir/fig01_burst_lasting_impact.cpp.o"
+  "CMakeFiles/fig01_burst_lasting_impact.dir/fig01_burst_lasting_impact.cpp.o.d"
+  "fig01_burst_lasting_impact"
+  "fig01_burst_lasting_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_burst_lasting_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_propagation.cpp" "bench/CMakeFiles/fig02_propagation.dir/fig02_propagation.cpp.o" "gcc" "bench/CMakeFiles/fig02_propagation.dir/fig02_propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/microscope_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/autofocus/CMakeFiles/microscope_autofocus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/microscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmedic/CMakeFiles/microscope_netmedic.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/microscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/microscope_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/microscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/microscope_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/microscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

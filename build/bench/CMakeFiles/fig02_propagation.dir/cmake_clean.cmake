@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_propagation.dir/fig02_propagation.cpp.o"
+  "CMakeFiles/fig02_propagation.dir/fig02_propagation.cpp.o.d"
+  "fig02_propagation"
+  "fig02_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_impact_quantification.dir/fig03_impact_quantification.cpp.o"
+  "CMakeFiles/fig03_impact_quantification.dir/fig03_impact_quantification.cpp.o.d"
+  "fig03_impact_quantification"
+  "fig03_impact_quantification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_impact_quantification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

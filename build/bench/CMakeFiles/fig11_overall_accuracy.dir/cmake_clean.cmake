@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overall_accuracy.dir/fig11_overall_accuracy.cpp.o"
+  "CMakeFiles/fig11_overall_accuracy.dir/fig11_overall_accuracy.cpp.o.d"
+  "fig11_overall_accuracy"
+  "fig11_overall_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overall_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_netmedic_window.dir/fig13_netmedic_window.cpp.o"
+  "CMakeFiles/fig13_netmedic_window.dir/fig13_netmedic_window.cpp.o.d"
+  "fig13_netmedic_window"
+  "fig13_netmedic_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_netmedic_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_pattern_aggregation.dir/fig14_pattern_aggregation.cpp.o"
+  "CMakeFiles/fig14_pattern_aggregation.dir/fig14_pattern_aggregation.cpp.o.d"
+  "fig14_pattern_aggregation"
+  "fig14_pattern_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_pattern_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

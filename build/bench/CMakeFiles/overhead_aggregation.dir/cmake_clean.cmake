@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_aggregation.dir/overhead_aggregation.cpp.o"
+  "CMakeFiles/overhead_aggregation.dir/overhead_aggregation.cpp.o.d"
+  "overhead_aggregation"
+  "overhead_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

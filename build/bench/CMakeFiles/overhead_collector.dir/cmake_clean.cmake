@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_collector.dir/overhead_collector.cpp.o"
+  "CMakeFiles/overhead_collector.dir/overhead_collector.cpp.o.d"
+  "overhead_collector"
+  "overhead_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

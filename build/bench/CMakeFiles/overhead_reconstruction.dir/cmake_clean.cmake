@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_reconstruction.dir/overhead_reconstruction.cpp.o"
+  "CMakeFiles/overhead_reconstruction.dir/overhead_reconstruction.cpp.o.d"
+  "overhead_reconstruction"
+  "overhead_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_burst_size.dir/sweep_burst_size.cpp.o"
+  "CMakeFiles/sweep_burst_size.dir/sweep_burst_size.cpp.o.d"
+  "sweep_burst_size"
+  "sweep_burst_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_burst_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_interrupt_len.dir/sweep_interrupt_len.cpp.o"
+  "CMakeFiles/sweep_interrupt_len.dir/sweep_interrupt_len.cpp.o.d"
+  "sweep_interrupt_len"
+  "sweep_interrupt_len.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_interrupt_len.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_propagation_hops.dir/sweep_propagation_hops.cpp.o"
+  "CMakeFiles/sweep_propagation_hops.dir/sweep_propagation_hops.cpp.o.d"
+  "sweep_propagation_hops"
+  "sweep_propagation_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_propagation_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_culprit_victim_breakdown.dir/table2_culprit_victim_breakdown.cpp.o"
+  "CMakeFiles/table2_culprit_victim_breakdown.dir/table2_culprit_victim_breakdown.cpp.o.d"
+  "table2_culprit_victim_breakdown"
+  "table2_culprit_victim_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_culprit_victim_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_culprit_victim_breakdown.
+# This may be replaced when dependencies are built.

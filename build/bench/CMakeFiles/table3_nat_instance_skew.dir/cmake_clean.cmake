@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_nat_instance_skew.dir/table3_nat_instance_skew.cpp.o"
+  "CMakeFiles/table3_nat_instance_skew.dir/table3_nat_instance_skew.cpp.o.d"
+  "table3_nat_instance_skew"
+  "table3_nat_instance_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_nat_instance_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

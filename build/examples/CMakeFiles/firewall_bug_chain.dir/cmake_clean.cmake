@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_bug_chain.dir/firewall_bug_chain.cpp.o"
+  "CMakeFiles/firewall_bug_chain.dir/firewall_bug_chain.cpp.o.d"
+  "firewall_bug_chain"
+  "firewall_bug_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_bug_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

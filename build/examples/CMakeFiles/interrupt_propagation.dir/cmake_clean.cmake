@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interrupt_propagation.dir/interrupt_propagation.cpp.o"
+  "CMakeFiles/interrupt_propagation.dir/interrupt_propagation.cpp.o.d"
+  "interrupt_propagation"
+  "interrupt_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interrupt_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

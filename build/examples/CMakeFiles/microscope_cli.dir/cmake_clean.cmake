@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_cli.dir/microscope_cli.cpp.o"
+  "CMakeFiles/microscope_cli.dir/microscope_cli.cpp.o.d"
+  "microscope_cli"
+  "microscope_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

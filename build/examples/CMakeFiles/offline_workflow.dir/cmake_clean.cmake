@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_workflow.dir/offline_workflow.cpp.o"
+  "CMakeFiles/offline_workflow.dir/offline_workflow.cpp.o.d"
+  "offline_workflow"
+  "offline_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

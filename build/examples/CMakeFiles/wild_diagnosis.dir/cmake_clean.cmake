@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild_diagnosis.dir/wild_diagnosis.cpp.o"
+  "CMakeFiles/wild_diagnosis.dir/wild_diagnosis.cpp.o.d"
+  "wild_diagnosis"
+  "wild_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_autofocus.dir/aggregate.cpp.o"
+  "CMakeFiles/microscope_autofocus.dir/aggregate.cpp.o.d"
+  "CMakeFiles/microscope_autofocus.dir/hhh.cpp.o"
+  "CMakeFiles/microscope_autofocus.dir/hhh.cpp.o.d"
+  "CMakeFiles/microscope_autofocus.dir/hierarchy.cpp.o"
+  "CMakeFiles/microscope_autofocus.dir/hierarchy.cpp.o.d"
+  "libmicroscope_autofocus.a"
+  "libmicroscope_autofocus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_autofocus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

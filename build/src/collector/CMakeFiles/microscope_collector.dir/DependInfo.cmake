@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collector/collector.cpp" "src/collector/CMakeFiles/microscope_collector.dir/collector.cpp.o" "gcc" "src/collector/CMakeFiles/microscope_collector.dir/collector.cpp.o.d"
+  "/root/repo/src/collector/file.cpp" "src/collector/CMakeFiles/microscope_collector.dir/file.cpp.o" "gcc" "src/collector/CMakeFiles/microscope_collector.dir/file.cpp.o.d"
+  "/root/repo/src/collector/ring.cpp" "src/collector/CMakeFiles/microscope_collector.dir/ring.cpp.o" "gcc" "src/collector/CMakeFiles/microscope_collector.dir/ring.cpp.o.d"
+  "/root/repo/src/collector/wire.cpp" "src/collector/CMakeFiles/microscope_collector.dir/wire.cpp.o" "gcc" "src/collector/CMakeFiles/microscope_collector.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/microscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

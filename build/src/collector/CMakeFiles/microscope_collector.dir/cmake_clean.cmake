@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_collector.dir/collector.cpp.o"
+  "CMakeFiles/microscope_collector.dir/collector.cpp.o.d"
+  "CMakeFiles/microscope_collector.dir/file.cpp.o"
+  "CMakeFiles/microscope_collector.dir/file.cpp.o.d"
+  "CMakeFiles/microscope_collector.dir/ring.cpp.o"
+  "CMakeFiles/microscope_collector.dir/ring.cpp.o.d"
+  "CMakeFiles/microscope_collector.dir/wire.cpp.o"
+  "CMakeFiles/microscope_collector.dir/wire.cpp.o.d"
+  "libmicroscope_collector.a"
+  "libmicroscope_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_common.dir/flow.cpp.o"
+  "CMakeFiles/microscope_common.dir/flow.cpp.o.d"
+  "CMakeFiles/microscope_common.dir/prefix.cpp.o"
+  "CMakeFiles/microscope_common.dir/prefix.cpp.o.d"
+  "CMakeFiles/microscope_common.dir/rng.cpp.o"
+  "CMakeFiles/microscope_common.dir/rng.cpp.o.d"
+  "CMakeFiles/microscope_common.dir/stats.cpp.o"
+  "CMakeFiles/microscope_common.dir/stats.cpp.o.d"
+  "libmicroscope_common.a"
+  "libmicroscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/diagnosis.cpp" "src/core/CMakeFiles/microscope_core.dir/diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/microscope_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/core/period.cpp" "src/core/CMakeFiles/microscope_core.dir/period.cpp.o" "gcc" "src/core/CMakeFiles/microscope_core.dir/period.cpp.o.d"
+  "/root/repo/src/core/relation.cpp" "src/core/CMakeFiles/microscope_core.dir/relation.cpp.o" "gcc" "src/core/CMakeFiles/microscope_core.dir/relation.cpp.o.d"
+  "/root/repo/src/core/timespan.cpp" "src/core/CMakeFiles/microscope_core.dir/timespan.cpp.o" "gcc" "src/core/CMakeFiles/microscope_core.dir/timespan.cpp.o.d"
+  "/root/repo/src/core/victim.cpp" "src/core/CMakeFiles/microscope_core.dir/victim.cpp.o" "gcc" "src/core/CMakeFiles/microscope_core.dir/victim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/microscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/microscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/microscope_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/microscope_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/microscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/microscope_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/microscope_core.dir/period.cpp.o"
+  "CMakeFiles/microscope_core.dir/period.cpp.o.d"
+  "CMakeFiles/microscope_core.dir/relation.cpp.o"
+  "CMakeFiles/microscope_core.dir/relation.cpp.o.d"
+  "CMakeFiles/microscope_core.dir/timespan.cpp.o"
+  "CMakeFiles/microscope_core.dir/timespan.cpp.o.d"
+  "CMakeFiles/microscope_core.dir/victim.cpp.o"
+  "CMakeFiles/microscope_core.dir/victim.cpp.o.d"
+  "libmicroscope_core.a"
+  "libmicroscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

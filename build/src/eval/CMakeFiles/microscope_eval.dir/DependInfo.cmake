@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cpp" "src/eval/CMakeFiles/microscope_eval.dir/experiment.cpp.o" "gcc" "src/eval/CMakeFiles/microscope_eval.dir/experiment.cpp.o.d"
+  "/root/repo/src/eval/json.cpp" "src/eval/CMakeFiles/microscope_eval.dir/json.cpp.o" "gcc" "src/eval/CMakeFiles/microscope_eval.dir/json.cpp.o.d"
+  "/root/repo/src/eval/oracle.cpp" "src/eval/CMakeFiles/microscope_eval.dir/oracle.cpp.o" "gcc" "src/eval/CMakeFiles/microscope_eval.dir/oracle.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/eval/CMakeFiles/microscope_eval.dir/report.cpp.o" "gcc" "src/eval/CMakeFiles/microscope_eval.dir/report.cpp.o.d"
+  "/root/repo/src/eval/scenarios.cpp" "src/eval/CMakeFiles/microscope_eval.dir/scenarios.cpp.o" "gcc" "src/eval/CMakeFiles/microscope_eval.dir/scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/microscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/microscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/microscope_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/microscope_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/microscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/microscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/autofocus/CMakeFiles/microscope_autofocus.dir/DependInfo.cmake"
+  "/root/repo/build/src/netmedic/CMakeFiles/microscope_netmedic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_eval.dir/experiment.cpp.o"
+  "CMakeFiles/microscope_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/microscope_eval.dir/json.cpp.o"
+  "CMakeFiles/microscope_eval.dir/json.cpp.o.d"
+  "CMakeFiles/microscope_eval.dir/oracle.cpp.o"
+  "CMakeFiles/microscope_eval.dir/oracle.cpp.o.d"
+  "CMakeFiles/microscope_eval.dir/report.cpp.o"
+  "CMakeFiles/microscope_eval.dir/report.cpp.o.d"
+  "CMakeFiles/microscope_eval.dir/scenarios.cpp.o"
+  "CMakeFiles/microscope_eval.dir/scenarios.cpp.o.d"
+  "libmicroscope_eval.a"
+  "libmicroscope_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

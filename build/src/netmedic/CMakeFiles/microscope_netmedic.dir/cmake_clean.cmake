@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_netmedic.dir/netmedic.cpp.o"
+  "CMakeFiles/microscope_netmedic.dir/netmedic.cpp.o.d"
+  "libmicroscope_netmedic.a"
+  "libmicroscope_netmedic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_netmedic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

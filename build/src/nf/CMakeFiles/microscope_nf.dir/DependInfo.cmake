@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/calibrate.cpp" "src/nf/CMakeFiles/microscope_nf.dir/calibrate.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/calibrate.cpp.o.d"
+  "/root/repo/src/nf/inject.cpp" "src/nf/CMakeFiles/microscope_nf.dir/inject.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/inject.cpp.o.d"
+  "/root/repo/src/nf/nf.cpp" "src/nf/CMakeFiles/microscope_nf.dir/nf.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/nf.cpp.o.d"
+  "/root/repo/src/nf/nf_types.cpp" "src/nf/CMakeFiles/microscope_nf.dir/nf_types.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/nf_types.cpp.o.d"
+  "/root/repo/src/nf/source.cpp" "src/nf/CMakeFiles/microscope_nf.dir/source.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/source.cpp.o.d"
+  "/root/repo/src/nf/topology.cpp" "src/nf/CMakeFiles/microscope_nf.dir/topology.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/topology.cpp.o.d"
+  "/root/repo/src/nf/traffic.cpp" "src/nf/CMakeFiles/microscope_nf.dir/traffic.cpp.o" "gcc" "src/nf/CMakeFiles/microscope_nf.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/microscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/microscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/microscope_collector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_nf.dir/calibrate.cpp.o"
+  "CMakeFiles/microscope_nf.dir/calibrate.cpp.o.d"
+  "CMakeFiles/microscope_nf.dir/inject.cpp.o"
+  "CMakeFiles/microscope_nf.dir/inject.cpp.o.d"
+  "CMakeFiles/microscope_nf.dir/nf.cpp.o"
+  "CMakeFiles/microscope_nf.dir/nf.cpp.o.d"
+  "CMakeFiles/microscope_nf.dir/nf_types.cpp.o"
+  "CMakeFiles/microscope_nf.dir/nf_types.cpp.o.d"
+  "CMakeFiles/microscope_nf.dir/source.cpp.o"
+  "CMakeFiles/microscope_nf.dir/source.cpp.o.d"
+  "CMakeFiles/microscope_nf.dir/topology.cpp.o"
+  "CMakeFiles/microscope_nf.dir/topology.cpp.o.d"
+  "CMakeFiles/microscope_nf.dir/traffic.cpp.o"
+  "CMakeFiles/microscope_nf.dir/traffic.cpp.o.d"
+  "libmicroscope_nf.a"
+  "libmicroscope_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmicroscope_nf.a"
+)

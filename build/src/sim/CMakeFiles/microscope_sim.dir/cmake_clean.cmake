@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/microscope_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/microscope_sim.dir/simulator.cpp.o"
+  "CMakeFiles/microscope_sim.dir/simulator.cpp.o.d"
+  "libmicroscope_sim.a"
+  "libmicroscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

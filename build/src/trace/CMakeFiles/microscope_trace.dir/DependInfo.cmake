@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/align.cpp" "src/trace/CMakeFiles/microscope_trace.dir/align.cpp.o" "gcc" "src/trace/CMakeFiles/microscope_trace.dir/align.cpp.o.d"
+  "/root/repo/src/trace/graph.cpp" "src/trace/CMakeFiles/microscope_trace.dir/graph.cpp.o" "gcc" "src/trace/CMakeFiles/microscope_trace.dir/graph.cpp.o.d"
+  "/root/repo/src/trace/reconstruct.cpp" "src/trace/CMakeFiles/microscope_trace.dir/reconstruct.cpp.o" "gcc" "src/trace/CMakeFiles/microscope_trace.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/trace/verify.cpp" "src/trace/CMakeFiles/microscope_trace.dir/verify.cpp.o" "gcc" "src/trace/CMakeFiles/microscope_trace.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/microscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/microscope_collector.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/microscope_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/microscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope_trace.dir/align.cpp.o"
+  "CMakeFiles/microscope_trace.dir/align.cpp.o.d"
+  "CMakeFiles/microscope_trace.dir/graph.cpp.o"
+  "CMakeFiles/microscope_trace.dir/graph.cpp.o.d"
+  "CMakeFiles/microscope_trace.dir/reconstruct.cpp.o"
+  "CMakeFiles/microscope_trace.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/microscope_trace.dir/verify.cpp.o"
+  "CMakeFiles/microscope_trace.dir/verify.cpp.o.d"
+  "libmicroscope_trace.a"
+  "libmicroscope_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autofocus.dir/test_autofocus.cpp.o"
+  "CMakeFiles/test_autofocus.dir/test_autofocus.cpp.o.d"
+  "test_autofocus"
+  "test_autofocus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autofocus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

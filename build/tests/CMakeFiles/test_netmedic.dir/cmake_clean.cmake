@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netmedic.dir/test_netmedic.cpp.o"
+  "CMakeFiles/test_netmedic.dir/test_netmedic.cpp.o.d"
+  "test_netmedic"
+  "test_netmedic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netmedic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_period.dir/test_period.cpp.o"
+  "CMakeFiles/test_period.dir/test_period.cpp.o.d"
+  "test_period"
+  "test_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timespan.dir/test_timespan.cpp.o"
+  "CMakeFiles/test_timespan.dir/test_timespan.cpp.o.d"
+  "test_timespan"
+  "test_timespan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timespan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
