@@ -45,7 +45,7 @@ int main() {
     const trace::Hop& h = j.hops[0];
     const auto bin = static_cast<std::size_t>(h.arrival / kBin);
     if (bin < lat_max.size())
-      lat_max[bin] = std::max(lat_max[bin], to_us(h.latency()));
+      lat_max[bin] = std::max(lat_max[bin], to_us(h.latency().value_or(0)));
   }
   std::vector<std::pair<double, double>> lat_series;
   for (std::size_t b = 0; b < lat_max.size(); ++b)

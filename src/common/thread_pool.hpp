@@ -1,0 +1,99 @@
+// Work-stealing thread pool for the offline analysis pipeline.
+//
+// Reconstruction and diagnosis are sharded across this pool (per node or
+// per victim). Every use in the codebase writes results into
+// pre-assigned, disjoint output slots, so the analysis output is
+// byte-identical to a sequential run regardless of scheduling; see
+// DESIGN.md "Parallel analysis".
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace microscope {
+
+/// Parallelism knob threaded through ReconstructOptions and
+/// DiagnoserOptions.
+struct ParallelOptions {
+  /// Worker threads for the analysis pool. 0 or 1 = run sequentially on
+  /// the calling thread (no pool is created; the default preserves all
+  /// pre-existing single-threaded behavior exactly).
+  unsigned num_threads = 0;
+  /// Force a statically partitioned, reproducible shard assignment.
+  /// The pipeline's outputs are deterministic either way (disjoint
+  /// pre-assigned slots); with `deterministic` the chunk layout itself is
+  /// also independent of the pool size, so intermediate per-chunk
+  /// artifacts can be compared across runs. Kept on by default.
+  bool deterministic = true;
+
+  bool sequential() const { return num_threads <= 1; }
+};
+
+/// A small work-stealing pool: one deque per worker, round-robin task
+/// placement, idle workers steal from the front of other deques. The
+/// thread calling parallel_for() participates by stealing too, so
+/// `num_threads = N` means N CPUs busy, not N+1.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run body(begin, end) over disjoint chunks covering [0, n), blocking
+  /// until every chunk completed. Chunk boundaries depend only on n,
+  /// grain, and the pool size — never on scheduling. Reentrant calls from
+  /// inside a pool task run inline (no nested fan-out).
+  ///
+  /// grain = 0 picks a chunk size targeting ~8 chunks per worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// nullptr when opts ask for a sequential run.
+  static std::unique_ptr<ThreadPool> make(const ParallelOptions& opts);
+
+ private:
+  struct Shard {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
+
+  void worker_main(unsigned me);
+  /// Pop from own deque (back) or steal (front) from a neighbour.
+  bool try_run_one(unsigned home);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> pending_{0};  // queued, not yet grabbed
+  std::atomic<bool> stop_{false};
+};
+
+/// Run body(begin, end) over [0, n): inline when pool is null, sharded
+/// across the pool otherwise. The common entry point for optional
+/// parallelism.
+void parallel_for_over(ThreadPool* pool, std::size_t n,
+                       const std::function<void(std::size_t, std::size_t)>& body,
+                       std::size_t grain = 0);
+
+/// Chunk grain for a loop of n iterations under opts: with
+/// `deterministic`, the layout is fixed (~64 chunks) independent of the
+/// pool size; otherwise 0 lets the pool pick a size-adaptive grain.
+inline std::size_t chunk_grain(const ParallelOptions& opts, std::size_t n) {
+  if (!opts.deterministic) return 0;
+  return n == 0 ? 1 : (n + 63) / 64;
+}
+
+}  // namespace microscope

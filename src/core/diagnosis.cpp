@@ -18,6 +18,19 @@ Diagnoser::Diagnoser(const trace::ReconstructedTrace& rt,
     peak_rates_.resize(rt.graph().node_count());
 }
 
+std::vector<Diagnosis> Diagnoser::diagnose_all(
+    const std::vector<Victim>& victims) const {
+  std::vector<Diagnosis> out(victims.size());
+  const auto pool = ThreadPool::make(opts_.parallel);
+  parallel_for_over(
+      pool.get(), victims.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) out[i] = diagnose(victims[i]);
+      },
+      chunk_grain(opts_.parallel, victims.size()));
+  return out;
+}
+
 Diagnosis Diagnoser::diagnose(const Victim& v) const {
   Diagnosis d;
   d.victim = v;

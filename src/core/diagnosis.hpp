@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "core/period.hpp"
 #include "core/relation.hpp"
 #include "core/timespan.hpp"
@@ -22,6 +23,11 @@ struct DiagnoserOptions {
   std::size_t max_flows_per_relation = 64;
   /// k in the "beyond k standard deviations" hop-abnormality test.
   double abnormal_stddev_k = 1.0;
+  /// Fan out diagnose_all() across a work-stealing pool. Defaults to
+  /// sequential; results are always collected in victim order, and each
+  /// per-victim diagnosis is a pure function of the (immutable)
+  /// reconstructed trace, so parallel output is byte-identical.
+  ParallelOptions parallel{};
 };
 
 class Diagnoser {
@@ -31,6 +37,11 @@ class Diagnoser {
 
   /// Diagnose one victim: full recursive causal analysis.
   Diagnosis diagnose(const Victim& victim) const;
+
+  /// Diagnose every victim, sharded across the pool configured by
+  /// options().parallel; out[i] is diagnose(victims[i]) regardless of
+  /// scheduling.
+  std::vector<Diagnosis> diagnose_all(const std::vector<Victim>& victims) const;
 
   // --- victim selection -------------------------------------------------
   /// Delivered packets whose end-to-end latency is above the given

@@ -34,6 +34,8 @@ struct Culprit {
 struct FlowWeight {
   FiveTuple flow{};
   double weight{0.0};
+
+  friend bool operator==(const FlowWeight&, const FlowWeight&) = default;
 };
 
 /// Victim of a performance problem: one packet at one NF.
@@ -55,6 +57,8 @@ struct Victim {
   DurationNs hop_latency{0};
   DurationNs e2e_latency{0};
   FiveTuple flow{};
+
+  friend bool operator==(const Victim&, const Victim&) = default;
 };
 
 /// <culprit packets, culprit NF> -> <victim packet, victim NF> : score.
@@ -70,12 +74,17 @@ struct CausalRelation {
   /// Recursion depth at which this relation was emitted (0 = at the victim
   /// NF itself); the number of propagation hops to the victim.
   int depth{0};
+
+  friend bool operator==(const CausalRelation&, const CausalRelation&) =
+      default;
 };
 
 /// Full diagnosis of one victim.
 struct Diagnosis {
   Victim victim{};
   std::vector<CausalRelation> relations;
+
+  friend bool operator==(const Diagnosis&, const Diagnosis&) = default;
 };
 
 /// A culprit with its total score across a diagnosis, for ranking.

@@ -21,8 +21,8 @@ std::vector<RunningStats> hop_stats(const trace::ReconstructedTrace& rt) {
   for (const Journey& j : rt.journeys()) {
     if (j.fate != Fate::kDelivered) continue;
     for (const trace::Hop& h : j.hops) {
-      if (h.depart == kTimeNever) continue;
-      stats[h.node].add(static_cast<double>(h.latency()));
+      if (!h.has_latency()) continue;
+      stats[h.node].add(static_cast<double>(*h.latency()));
     }
   }
   return stats;
@@ -46,13 +46,13 @@ Victim victim_at_worst_hop(const trace::ReconstructedTrace& rt,
   const trace::Hop* best = nullptr;
   const trace::Hop* max_lat = nullptr;
   for (const trace::Hop& h : j.hops) {
-    if (h.depart == kTimeNever) continue;
-    if (!max_lat || h.latency() > max_lat->latency()) max_lat = &h;
+    if (!h.has_latency()) continue;
+    const DurationNs lat = *h.latency();
+    if (!max_lat || lat > *max_lat->latency()) max_lat = &h;
     const RunningStats& s = stats[h.node];
     if (s.count() < 2 || s.stddev() <= 0.0) continue;
-    const double sigma =
-        (static_cast<double>(h.latency()) - s.mean()) / s.stddev();
-    if (sigma > k && (!best || h.latency() > best->latency())) {
+    const double sigma = (static_cast<double>(lat) - s.mean()) / s.stddev();
+    if (sigma > k && (!best || lat > *best->latency())) {
       best = &h;
     }
   }
@@ -60,7 +60,7 @@ Victim victim_at_worst_hop(const trace::ReconstructedTrace& rt,
   if (anchor) {
     v.node = anchor->node;
     v.time = anchor->arrival;
-    v.hop_latency = anchor->latency();
+    v.hop_latency = *anchor->latency();
   }
   return v;
 }

@@ -45,14 +45,17 @@ Stream build_stream(const NodeTrace& up_trace, NodeId up, NodeId down) {
 std::vector<NodeAlignment> align_all(const collector::Collector& col,
                                      const GraphView& graph,
                                      const AlignOptions& opts,
-                                     AlignStats* stats) {
-  AlignStats local;
+                                     AlignStats* stats,
+                                     ThreadPool* pool,
+                                     const ParallelOptions& par) {
   const std::size_t n = graph.node_count();
   std::vector<NodeAlignment> out(n);
+  // Per-node stat shards, merged in node-id order at the end.
+  std::vector<AlignStats> node_stats(n);
 
   // Pass 0: entry->batch maps and downstream-drop flags.
-  for (NodeId id = 0; id < n; ++id) {
-    if (graph.kinds[id] == NodeKind::kSink || !col.has_node(id)) continue;
+  auto pass0 = [&](NodeId id) {
+    if (graph.kinds[id] == NodeKind::kSink || !col.has_node(id)) return;
     const NodeTrace& t = col.node(id);
     out[id].rx_batch_of = batch_of_entries(t.rx_batches, t.rx_ipids.size());
     out[id].tx_batch_of = batch_of_entries(t.tx_batches, t.tx_ipids.size());
@@ -60,11 +63,14 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
     out[id].rx_origin.assign(t.rx_ipids.size(), TxRef{});
     out[id].rx_to_tx.assign(t.rx_ipids.size(), kNoEntry);
     out[id].tx_to_rx.assign(t.tx_ipids.size(), kNoEntry);
-  }
+  };
 
   // Pass 1: link alignment (downstream rx entries <- upstream tx streams).
-  for (NodeId d = 0; d < n; ++d) {
-    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+  // Writes land only on out[d] and on out[u].tx_dropped_downstream
+  // elements whose batch peer is d — owned by this node, so per-node
+  // sharding is race-free.
+  auto pass1 = [&](NodeId d, AlignStats& local) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) return;
     const NodeTrace& dt = col.node(d);
     NodeAlignment& da = out[d];
 
@@ -192,11 +198,11 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
         }
       }
     }
-  }
+  };
 
   // Pass 2: internal alignment (rx entries -> this node's tx streams).
-  for (NodeId d = 0; d < n; ++d) {
-    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+  auto pass2 = [&](NodeId d, AlignStats& local) {
+    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) return;
     const NodeTrace& dt = col.node(d);
     NodeAlignment& da = out[d];
 
@@ -244,9 +250,35 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
         ++local.policy_drops_inferred;
       }
     }
-  }
+  };
 
-  if (stats) *stats = local;
+  // Pass barriers: pass 1 reads pass 0's tx_batch_of maps of upstream
+  // nodes; pass 2 only touches out[d] but keeps the barrier for clarity.
+  const std::size_t grain = chunk_grain(par, n);
+  parallel_for_over(pool, n,
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t id = b; id < e; ++id)
+                        pass0(static_cast<NodeId>(id));
+                    },
+                    grain);
+  parallel_for_over(pool, n,
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t id = b; id < e; ++id)
+                        pass1(static_cast<NodeId>(id), node_stats[id]);
+                    },
+                    grain);
+  parallel_for_over(pool, n,
+                    [&](std::size_t b, std::size_t e) {
+                      for (std::size_t id = b; id < e; ++id)
+                        pass2(static_cast<NodeId>(id), node_stats[id]);
+                    },
+                    grain);
+
+  if (stats) {
+    AlignStats total;
+    for (const AlignStats& s : node_stats) total += s;
+    *stats = total;
+  }
   return out;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "collector/collector.hpp"
+#include "common/thread_pool.hpp"
 #include "common/time.hpp"
 #include "trace/graph.hpp"
 
@@ -37,6 +38,8 @@ struct TxRef {
   NodeId node{kInvalidNode};
   std::uint32_t idx{kNoEntry};
   bool valid() const { return node != kInvalidNode && idx != kNoEntry; }
+
+  friend bool operator==(const TxRef&, const TxRef&) = default;
 };
 
 struct AlignOptions {
@@ -71,6 +74,8 @@ struct NodeAlignment {
   // Entry -> batch index maps (for timestamp lookup).
   std::vector<std::uint32_t> rx_batch_of;
   std::vector<std::uint32_t> tx_batch_of;
+
+  friend bool operator==(const NodeAlignment&, const NodeAlignment&) = default;
 };
 
 struct AlignStats {
@@ -81,13 +86,33 @@ struct AlignStats {
   std::uint64_t internal_matched{0};
   std::uint64_t internal_ambiguous{0};
   std::uint64_t policy_drops_inferred{0};
+
+  AlignStats& operator+=(const AlignStats& o) {
+    link_matched += o.link_matched;
+    link_ambiguous += o.link_ambiguous;
+    link_unmatched += o.link_unmatched;
+    queue_drops_inferred += o.queue_drops_inferred;
+    internal_matched += o.internal_matched;
+    internal_ambiguous += o.internal_ambiguous;
+    policy_drops_inferred += o.policy_drops_inferred;
+    return *this;
+  }
+  friend bool operator==(const AlignStats&, const AlignStats&) = default;
 };
 
 /// Align every node of the graph. Returns one NodeAlignment per node id
 /// (sources get tx-side maps only).
+///
+/// When `pool` is non-null each pass is sharded per node across it;
+/// per-node alignments are independent (the only cross-node writes,
+/// upstream `tx_dropped_downstream` flags, land on elements owned by
+/// exactly one downstream node), and stats are accumulated per node and
+/// merged in node-id order — the output is identical to a sequential run.
 std::vector<NodeAlignment> align_all(const collector::Collector& col,
                                      const GraphView& graph,
                                      const AlignOptions& opts,
-                                     AlignStats* stats);
+                                     AlignStats* stats,
+                                     ThreadPool* pool = nullptr,
+                                     const ParallelOptions& par = {});
 
 }  // namespace microscope::trace

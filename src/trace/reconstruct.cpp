@@ -58,13 +58,33 @@ NodeId tx_peer_of(const collector::NodeTrace& t, const NodeAlignment& a,
   return t.tx_batches[a.tx_batch_of[idx]].peer;
 }
 
+/// A journey's starting point plus the per-terminal fixups to apply after
+/// its backward walk. Seeds are enumerated sequentially (assigning journey
+/// ids deterministically); the walks themselves run sharded across the
+/// pool — every walk touches a chain of rx/tx entries that no other seed's
+/// chain shares (alignment maps are injective), so the walks are
+/// race-free and order-independent.
+struct WalkSeed {
+  enum class Kind : std::uint8_t { kDelivered, kQueueDrop, kPolicyDrop };
+  NodeId node{kInvalidNode};
+  std::uint32_t tx{kNoEntry};
+  std::uint32_t rx{kNoEntry};
+  Kind kind{Kind::kDelivered};
+  /// Delivered: restore flow from edge_flow if the walk was truncated.
+  bool flow_fallback{false};
+  /// Queue drop: arrival time of the pseudo-hop at the dropping node.
+  TimeNs drop_arrival{0};
+};
+
 }  // namespace
 
 ReconstructedTrace reconstruct(const collector::Collector& col,
                                const GraphView& graph,
                                const ReconstructOptions& opts) {
   ReconstructedTrace rt(graph, opts);
-  rt.alignments_ = align_all(col, graph, opts.align, &rt.align_stats_);
+  const auto pool = ThreadPool::make(opts.parallel);
+  rt.alignments_ = align_all(col, graph, opts.align, &rt.align_stats_,
+                             pool.get(), opts.parallel);
   const std::size_t n = graph.node_count();
 
   rt.jid_of_rx_.resize(n);
@@ -76,7 +96,8 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
   }
 
   // Walk a packet backward from a starting point to its source, filling
-  // hops in reverse. Returns false if reconstruction was truncated.
+  // hops in reverse. Reads only the (immutable) alignments; writes only
+  // this journey and the jid map entries of its own chain.
   auto walk_back = [&](NodeId start_node, std::uint32_t start_tx,
                        std::uint32_t start_rx, Journey& j,
                        std::uint32_t jid) -> void {
@@ -133,27 +154,68 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
     std::reverse(j.hops.begin(), j.hops.end());
   };
 
+  // Run the walks of seeds[i] -> journeys_[jid0 + i] across the pool,
+  // then apply the per-terminal fixups the sequential code performed
+  // after each walk.
+  std::vector<WalkSeed> seeds;
+  auto run_walks = [&](std::uint32_t jid0) {
+    parallel_for_over(
+        pool.get(), seeds.size(),
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            const WalkSeed& s = seeds[i];
+            const auto jid = static_cast<std::uint32_t>(jid0 + i);
+            Journey& j = rt.journeys_[jid];
+            walk_back(s.node, s.tx, s.rx, j, jid);
+            switch (s.kind) {
+              case WalkSeed::Kind::kDelivered:
+                if (!j.complete() && s.flow_fallback) j.flow = j.edge_flow;
+                break;
+              case WalkSeed::Kind::kQueueDrop: {
+                if (j.fate == Fate::kTruncated) j.fate = Fate::kDroppedQueue;
+                // Pseudo-hop at the dropping node: it arrived but was
+                // never read.
+                Hop drop_hop;
+                drop_hop.node = j.end_node;
+                drop_hop.arrival = s.drop_arrival;
+                drop_hop.read = kTimeNever;
+                drop_hop.depart = kTimeNever;
+                j.hops.push_back(drop_hop);
+                break;
+              }
+              case WalkSeed::Kind::kPolicyDrop:
+                break;
+            }
+          }
+        },
+        chunk_grain(opts.parallel, seeds.size()));
+    seeds.clear();
+  };
+
   // --- Terminal 1: delivered packets (edge tx entries toward the sink) ---
+  // Seed enumeration depends only on the collector records and alignments,
+  // so journey ids come out in the exact sequential order.
   for (NodeId e = 0; e < n; ++e) {
     if (graph.kinds[e] != NodeKind::kNf || !col.has_node(e)) continue;
     const auto& t = col.node(e);
-    const NodeAlignment& a = rt.alignments_[e];
     for (const collector::BatchRecord& rec : t.tx_batches) {
       if (rec.peer != graph.sink) continue;
       for (std::uint32_t i = 0; i < rec.count; ++i) {
         const std::uint32_t k = rec.begin + i;
-        const auto jid = static_cast<std::uint32_t>(rt.journeys_.size());
         Journey j;
         j.fate = Fate::kDelivered;
         j.end_node = e;
         if (k < t.tx_flows.size()) j.edge_flow = t.tx_flows[k];
         j.ipid = t.tx_ipids[k];
-        walk_back(e, k, kNoEntry, j, jid);
-        if (!j.complete() && k < t.tx_flows.size()) j.flow = j.edge_flow;
         rt.journeys_.push_back(std::move(j));
+        WalkSeed s;
+        s.node = e;
+        s.tx = k;
+        s.kind = WalkSeed::Kind::kDelivered;
+        s.flow_fallback = k < t.tx_flows.size();
+        seeds.push_back(s);
       }
     }
-    (void)a;
   }
 
   // --- Terminal 2: packets dropped at a downstream input queue ---
@@ -163,25 +225,25 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
     const NodeAlignment& a = rt.alignments_[u];
     for (std::uint32_t k = 0; k < a.tx_dropped_downstream.size(); ++k) {
       if (!a.tx_dropped_downstream[k]) continue;
-      const auto jid = static_cast<std::uint32_t>(rt.journeys_.size());
       Journey j;
       j.fate = Fate::kDroppedQueue;
       j.end_node = tx_peer_of(t, a, k);
       j.ipid = t.tx_ipids[k];
-      walk_back(u, k, kNoEntry, j, jid);
-      if (j.fate == Fate::kTruncated) j.fate = Fate::kDroppedQueue;
-      // Pseudo-hop at the dropping node: it arrived but was never read.
-      Hop drop_hop;
-      drop_hop.node = j.end_node;
-      drop_hop.arrival = tx_ts_of(t, a, k) + opts.prop_delay;
-      drop_hop.read = kTimeNever;
-      drop_hop.depart = kTimeNever;
-      j.hops.push_back(drop_hop);
       rt.journeys_.push_back(std::move(j));
+      WalkSeed s;
+      s.node = u;
+      s.tx = k;
+      s.kind = WalkSeed::Kind::kQueueDrop;
+      s.drop_arrival = tx_ts_of(t, a, k) + opts.prop_delay;
+      seeds.push_back(s);
     }
   }
+  run_walks(0);
 
   // --- Terminal 3: NF policy drops (rx entries with no tx counterpart) ---
+  // Enumerated after the terminal-1/2 walks: the jid_of_rx guard must see
+  // their final marks, exactly as in the sequential interleaving.
+  const auto jid_t3 = static_cast<std::uint32_t>(rt.journeys_.size());
   for (NodeId d = 0; d < n; ++d) {
     if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
     const auto& t = col.node(d);
@@ -189,15 +251,19 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
     for (std::uint32_t i = 0; i < a.rx_to_tx.size(); ++i) {
       if (a.rx_to_tx[i] != kNoEntry) continue;
       if (rt.jid_of_rx_[d][i] != kNoJourney) continue;
-      const auto jid = static_cast<std::uint32_t>(rt.journeys_.size());
       Journey j;
       j.fate = Fate::kDroppedPolicy;
       j.end_node = d;
       j.ipid = t.rx_ipids[i];
-      walk_back(d, kNoEntry, i, j, jid);
       rt.journeys_.push_back(std::move(j));
+      WalkSeed s;
+      s.node = d;
+      s.rx = i;
+      s.kind = WalkSeed::Kind::kPolicyDrop;
+      seeds.push_back(s);
     }
   }
+  run_walks(jid_t3);
 
   // --- Per-NF timelines ---
   rt.timelines_.resize(n);
@@ -207,52 +273,65 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
     if (col.has_node(id))
       consumed[id].assign(col.node(id).tx_ipids.size(), kNoEntry);
   }
-  for (NodeId d = 0; d < n; ++d) {
-    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
-    const NodeAlignment& a = rt.alignments_[d];
-    for (std::uint32_t i = 0; i < a.rx_origin.size(); ++i) {
-      const TxRef o = a.rx_origin[i];
-      if (o.valid()) consumed[o.node][o.idx] = i;
-    }
-  }
-  for (NodeId d = 0; d < n; ++d) {
-    if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
-    NodeTimeline& tl = rt.timelines_[d];
-    for (NodeId u : graph.upstreams[d]) {
-      if (!col.has_node(u)) continue;
-      const auto& ut = col.node(u);
-      const NodeAlignment& ua = rt.alignments_[u];
-      for (const collector::BatchRecord& rec : ut.tx_batches) {
-        if (rec.peer != d) continue;
-        for (std::uint32_t i = 0; i < rec.count; ++i) {
-          const std::uint32_t e = rec.begin + i;
-          Arrival ar;
-          ar.t = rec.ts + opts.prop_delay;
-          ar.from = u;
-          ar.up_tx_idx = e;
-          ar.rx_idx = consumed[u][e];
-          ar.journey = jid_of_tx[u][e];
-          tl.arrivals.push_back(ar);
+  // Sharded per downstream node: each upstream tx entry is consumed by at
+  // most one rx entry network-wide, so the writes are disjoint.
+  parallel_for_over(
+      pool.get(), n,
+      [&](std::size_t b, std::size_t e) {
+        for (NodeId d = static_cast<NodeId>(b); d < e; ++d) {
+          if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+          const NodeAlignment& a = rt.alignments_[d];
+          for (std::uint32_t i = 0; i < a.rx_origin.size(); ++i) {
+            const TxRef o = a.rx_origin[i];
+            if (o.valid()) consumed[o.node][o.idx] = i;
+          }
         }
-      }
-      (void)ua;
-    }
-    std::sort(tl.arrivals.begin(), tl.arrivals.end(),
-              [](const Arrival& a, const Arrival& b) { return a.t < b.t; });
+      },
+      chunk_grain(opts.parallel, n));
 
-    const auto& t = col.node(d);
-    tl.reads.reserve(t.rx_batches.size());
-    std::uint64_t cum = 0;
-    for (const collector::BatchRecord& rec : t.rx_batches) {
-      NodeTimeline::Read r;
-      r.ts = rec.ts;
-      r.count = rec.count;
-      r.short_batch = rec.count < opts.max_batch;
-      tl.reads.push_back(r);
-      cum += rec.count;
-      tl.reads_cum.push_back(cum);
-    }
-  }
+  // Timeline construction proper is embarrassingly parallel per node.
+  parallel_for_over(
+      pool.get(), n,
+      [&](std::size_t b, std::size_t e) {
+        for (NodeId d = static_cast<NodeId>(b); d < e; ++d) {
+          if (graph.kinds[d] != NodeKind::kNf || !col.has_node(d)) continue;
+          NodeTimeline& tl = rt.timelines_[d];
+          for (NodeId u : graph.upstreams[d]) {
+            if (!col.has_node(u)) continue;
+            const auto& ut = col.node(u);
+            for (const collector::BatchRecord& rec : ut.tx_batches) {
+              if (rec.peer != d) continue;
+              for (std::uint32_t i = 0; i < rec.count; ++i) {
+                const std::uint32_t en = rec.begin + i;
+                Arrival ar;
+                ar.t = rec.ts + opts.prop_delay;
+                ar.from = u;
+                ar.up_tx_idx = en;
+                ar.rx_idx = consumed[u][en];
+                ar.journey = jid_of_tx[u][en];
+                tl.arrivals.push_back(ar);
+              }
+            }
+          }
+          std::sort(
+              tl.arrivals.begin(), tl.arrivals.end(),
+              [](const Arrival& a, const Arrival& b2) { return a.t < b2.t; });
+
+          const auto& t = col.node(d);
+          tl.reads.reserve(t.rx_batches.size());
+          std::uint64_t cum = 0;
+          for (const collector::BatchRecord& rec : t.rx_batches) {
+            NodeTimeline::Read r;
+            r.ts = rec.ts;
+            r.count = rec.count;
+            r.short_batch = rec.count < opts.max_batch;
+            tl.reads.push_back(r);
+            cum += rec.count;
+            tl.reads_cum.push_back(cum);
+          }
+        }
+      },
+      chunk_grain(opts.parallel, n));
 
   return rt;
 }

@@ -9,6 +9,7 @@
 
 #include "collector/collector.hpp"
 #include "common/flow.hpp"
+#include "common/thread_pool.hpp"
 #include "common/time.hpp"
 #include "trace/align.hpp"
 #include "trace/graph.hpp"
@@ -33,10 +34,19 @@ struct Hop {
   std::uint32_t rx_idx{kNoEntry};
   std::uint32_t tx_idx{kNoEntry};
 
-  /// Queueing + processing delay at this hop.
-  DurationNs latency() const {
-    return depart == kTimeNever ? 0 : depart - arrival;
+  /// Whether the packet left this node (false = it died here, so there is
+  /// no hop latency to speak of).
+  bool has_latency() const { return depart != kTimeNever; }
+
+  /// Queueing + processing delay at this hop; nullopt for packets that
+  /// died at this node (previously reported as 0, silently conflating
+  /// "no latency" with "dropped").
+  std::optional<DurationNs> latency() const {
+    if (!has_latency()) return std::nullopt;
+    return depart - arrival;
   }
+
+  friend bool operator==(const Hop&, const Hop&) = default;
 };
 
 enum class Fate : std::uint8_t {
@@ -69,6 +79,8 @@ struct Journey {
                ? 0
                : hops.back().depart - source_time;
   }
+
+  friend bool operator==(const Journey&, const Journey&) = default;
 };
 
 /// One packet arriving at an NF's input queue (accepted or dropped).
@@ -80,6 +92,8 @@ struct Arrival {
   std::uint32_t rx_idx{kNoEntry};
   std::uint32_t journey{kNoJourney};
   bool accepted() const { return rx_idx != kNoEntry; }
+
+  friend bool operator==(const Arrival&, const Arrival&) = default;
 };
 
 /// Per-NF queue timeline reconstructed from records.
@@ -91,6 +105,8 @@ struct NodeTimeline {
     TimeNs ts;
     std::uint16_t count;
     bool short_batch;
+
+    friend bool operator==(const Read&, const Read&) = default;
   };
   std::vector<Read> reads;
   /// Prefix sums of read counts (reads_cum[i] = packets read in batches
@@ -103,6 +119,8 @@ struct NodeTimeline {
   std::uint64_t reads_in(TimeNs t0, TimeNs t1) const;
   /// Index of first arrival with t > t0, arrivals.size() if none.
   std::size_t first_arrival_after(TimeNs t0) const;
+
+  friend bool operator==(const NodeTimeline&, const NodeTimeline&) = default;
 };
 
 struct ReconstructOptions {
@@ -112,6 +130,10 @@ struct ReconstructOptions {
   DurationNs prop_delay = 1_us;
   /// Batch size above which a read cannot prove the queue emptied.
   std::uint16_t max_batch = 32;
+  /// Shard alignment, journey walks, and timeline construction across a
+  /// work-stealing pool. Defaults to sequential; parallel output is
+  /// byte-identical to sequential (see DESIGN.md "Parallel analysis").
+  ParallelOptions parallel{};
 };
 
 class ReconstructedTrace {

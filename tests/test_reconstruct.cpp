@@ -98,6 +98,34 @@ TEST(Reconstruct, QueueOverflowProducesDropJourneys) {
               static_cast<double>(drops) * 0.05 + 5.0);
 }
 
+TEST(Reconstruct, DroppedHopReportsNoLatencyInsteadOfZero) {
+  // Regression: Hop::latency() used to return 0 for packets that died at a
+  // node (depart == kTimeNever), silently conflating "dropped" with "no
+  // latency". It now returns nullopt, guarded by has_latency().
+  auto traffic = nf::generate_constant_rate(flow_n(1), 1_ms, 1_ms, 8.0);
+  SingleNfRun run(std::move(traffic));
+
+  std::size_t dead_hops = 0, live_hops = 0;
+  for (const Journey& j : run.rt.journeys()) {
+    for (const Hop& h : j.hops) {
+      if (h.depart == kTimeNever) {
+        ++dead_hops;
+        EXPECT_FALSE(h.has_latency());
+        EXPECT_EQ(h.latency(), std::nullopt);
+      } else {
+        ++live_hops;
+        ASSERT_TRUE(h.has_latency());
+        // A real hop's latency is positive — distinguishable from the old
+        // sentinel 0 that drops used to masquerade as.
+        EXPECT_GT(*h.latency(), 0);
+        EXPECT_EQ(*h.latency(), h.depart - h.arrival);
+      }
+    }
+  }
+  EXPECT_GT(dead_hops, 100u);  // the burst overflowed the queue
+  EXPECT_GT(live_hops, 100u);
+}
+
 TEST(Reconstruct, PolicyDropsProduceJourneys) {
   // Firewall with a drop rule: flows to port 23 are consumed.
   nf::FwRule drop;

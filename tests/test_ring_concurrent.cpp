@@ -1,0 +1,154 @@
+// Concurrent stress tests for the SPSC ring + dumper path — the one
+// runtime component that was always multi-threaded but had no concurrency
+// coverage. A producer thread hammers the ring while the consumer drains;
+// every record must come out exactly once, in order, unmodified.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "collector/ring.hpp"
+#include "collector/wire.hpp"
+
+namespace microscope::collector {
+namespace {
+
+TEST(RingConcurrent, ByteStreamSurvivesProducerConsumerRace) {
+  // Raw ring: producer pushes framed sequence numbers, consumer reassembles
+  // and checks for loss, duplication, and reordering.
+  SpscByteRing ring(1 << 12);  // small: forces constant wrap + backoff
+  constexpr std::uint32_t kMessages = 200000;
+
+  std::thread producer([&] {
+    std::vector<std::byte> frame(sizeof(std::uint32_t));
+    for (std::uint32_t seq = 0; seq < kMessages; ++seq) {
+      std::memcpy(frame.data(), &seq, sizeof(seq));
+      while (!ring.push(frame)) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::byte> buf(1 << 10);
+  std::vector<std::byte> pending;
+  std::uint32_t expect = 0;
+  while (expect < kMessages) {
+    const std::size_t n = ring.pop(buf);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    pending.insert(pending.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(n));
+    std::size_t off = 0;
+    while (pending.size() - off >= sizeof(std::uint32_t)) {
+      std::uint32_t seq;
+      std::memcpy(&seq, pending.data() + off, sizeof(seq));
+      ASSERT_EQ(seq, expect) << "lost/duplicated/reordered record";
+      ++expect;
+      off += sizeof(seq);
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  producer.join();
+  EXPECT_EQ(expect, kMessages);
+  EXPECT_TRUE(pending.empty());
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(RingConcurrent, DumperDecodesEveryPushedBatch) {
+  // Full RingCollector path: a producer thread emits rx/tx batches while
+  // the dumper thread drains concurrently. With backpressure (retry on
+  // overrun) the decoded store must hold every record exactly once.
+  RingCollector::Options opts;
+  opts.ring_bytes = 1 << 12;  // tight ring: maximize concurrent wraps
+  RingCollector rc(opts);
+  const NodeId node = 1;
+  rc.register_node(node, /*full_flow=*/true);
+
+  constexpr std::uint32_t kBatches = 20000;
+  constexpr std::uint16_t kBatchSize = 4;
+  std::thread producer([&] {
+    std::vector<Packet> batch(kBatchSize);
+    for (std::uint32_t b = 0; b < kBatches; ++b) {
+      for (std::uint16_t i = 0; i < kBatchSize; ++i) {
+        Packet& p = batch[i];
+        p.ipid = static_cast<std::uint16_t>(b * kBatchSize + i);
+        p.flow.src_ip = b;
+        p.flow.dst_ip = i;
+      }
+      const TimeNs ts = static_cast<TimeNs>(b) * 100;
+      // The dataplane hook never blocks (it drops on overrun); the test
+      // re-pushes dropped records so the accounting below can demand
+      // exact completeness.
+      auto push_until_accepted = [&](auto&& push) {
+        while (true) {
+          const std::uint64_t before = rc.overruns();
+          push();
+          if (rc.overruns() == before) return;
+          std::this_thread::yield();
+        }
+      };
+      push_until_accepted([&] { rc.on_rx(node, ts, batch); });
+      push_until_accepted([&] { rc.on_tx(node, /*peer=*/2, ts + 10, batch); });
+    }
+  });
+  producer.join();
+  rc.flush();
+
+  const NodeTrace& t = rc.store().node(node);
+  ASSERT_EQ(t.rx_batches.size(), kBatches);
+  ASSERT_EQ(t.tx_batches.size(), kBatches);
+  ASSERT_EQ(t.rx_ipids.size(), std::size_t{kBatches} * kBatchSize);
+  ASSERT_EQ(t.tx_ipids.size(), std::size_t{kBatches} * kBatchSize);
+  for (std::uint32_t b = 0; b < kBatches; ++b) {
+    EXPECT_EQ(t.rx_batches[b].ts, static_cast<TimeNs>(b) * 100);
+    EXPECT_EQ(t.rx_batches[b].count, kBatchSize);
+    EXPECT_EQ(t.tx_batches[b].peer, 2u);
+    for (std::uint16_t i = 0; i < kBatchSize; ++i) {
+      const std::size_t e = std::size_t{b} * kBatchSize + i;
+      EXPECT_EQ(t.rx_ipids[e], static_cast<std::uint16_t>(e));
+      EXPECT_EQ(t.tx_flows[e].src_ip, b);
+      EXPECT_EQ(t.tx_flows[e].dst_ip, i);
+    }
+    if (HasFailure()) break;  // don't spam 80k failures
+  }
+}
+
+TEST(RingConcurrent, OverrunsDropWholeRecordsNeverCorrupt) {
+  // Without backpressure some records are dropped (counted as overruns),
+  // but the decoded stream must still consist of intact records: dropped
+  // batches vanish whole, surviving ones decode bit-exact.
+  RingCollector::Options opts;
+  opts.ring_bytes = 1 << 10;
+  RingCollector rc(opts);
+  const NodeId node = 3;
+  rc.register_node(node, /*full_flow=*/false);
+
+  constexpr std::uint32_t kBatches = 50000;
+  std::vector<Packet> batch(8);
+  for (std::uint32_t b = 0; b < kBatches; ++b) {
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      batch[i].ipid = static_cast<std::uint16_t>(b);
+    rc.on_rx(node, static_cast<TimeNs>(b), batch);
+  }
+  rc.flush();
+
+  const NodeTrace& t = rc.store().node(node);
+  EXPECT_EQ(t.rx_batches.size() + rc.overruns(), kBatches);
+  EXPECT_GT(rc.overruns(), 0u);  // the tiny ring must have overrun
+  // Every surviving batch is internally consistent: 8 entries, all
+  // carrying the batch's own ipid, timestamps strictly increasing.
+  TimeNs prev = -1;
+  for (const BatchRecord& rec : t.rx_batches) {
+    ASSERT_EQ(rec.count, 8u);
+    ASSERT_GT(rec.ts, prev);
+    prev = rec.ts;
+    for (std::uint32_t i = 0; i < rec.count; ++i)
+      ASSERT_EQ(t.rx_ipids[rec.begin + i],
+                static_cast<std::uint16_t>(rec.ts));
+  }
+}
+
+}  // namespace
+}  // namespace microscope::collector
