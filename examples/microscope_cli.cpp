@@ -16,11 +16,20 @@
 //     --noise <per-sec>               natural noise rate per NF (default 0)
 //     --threshold <us>                victim latency threshold (default 200)
 //     --save <path>                   persist the collector trace
+//     --save-stream <path>            persist it time-interleaved (tailable)
+//     --follow                        stream the trace through the online
+//                                     engine (windowed diagnosis) instead of
+//                                     one offline pass
+//     --follow-file <path>            tail an existing stream trace (skips
+//                                     the simulation entirely)
+//     --window <ms>                   online window size (default 10)
 //     --patterns                      also run pattern aggregation
 //     --json                          emit the report as JSON
 //
-// Example:
+// Examples:
 //   microscope_cli --duration 200 --burst t=60,n=2000 --patterns
+//   microscope_cli --interrupt nf=nat1,t=60,len=800 --follow --window 20
+//   microscope_cli --save-stream trace.bin && microscope_cli --follow-file trace.bin
 
 #include <cstring>
 #include <iostream>
@@ -73,6 +82,37 @@ struct BugSpec {
   std::exit(2);
 }
 
+const char* culprit_name(const autofocus::NfCatalog& catalog, NodeId node) {
+  return node < catalog.node_names.size() ? catalog.node_names[node].c_str()
+                                          : "?";
+}
+
+/// Per-window summaries, stream counters, and the live culprit board.
+void print_follow_windows(const std::vector<online::WindowResult>& windows,
+                          const online::OnlineEngine& eng,
+                          const autofocus::NfCatalog& catalog) {
+  for (const online::WindowResult& w : windows) {
+    std::cout << "window #" << w.index << " [" << to_ms(w.start) << ", "
+              << to_ms(w.end) << ") ms: " << w.journeys << " journeys, "
+              << w.diagnoses.size() << " victims"
+              << (w.idle_forced ? " (idle-forced)" : "") << "\n";
+  }
+  const online::OnlineStats st = eng.stats();
+  std::cout << "\nstream: " << st.batches_ingested << " batches ("
+            << st.packets_ingested << " pkts), " << st.windows_closed
+            << " windows closed, " << st.late_dropped_batches
+            << " late-dropped, " << st.ring_dropped_records
+            << " ring-dropped\n";
+  const auto top = eng.aggregator().top();
+  if (!top.empty()) {
+    std::cout << "live culprits (decayed):\n";
+    for (const auto& t : top)
+      std::cout << "  " << culprit_name(catalog, t.culprit.node) << " ["
+                << core::to_string(t.culprit.kind) << "]  score " << t.score
+                << "  (" << t.windows_seen << " windows)\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +123,10 @@ int main(int argc, char** argv) {
   double noise = 0.0;
   DurationNs threshold = 200_us;
   std::string save_path;
+  std::string save_stream_path;
+  std::string follow_file;
+  bool follow = false;
+  DurationNs window = 10_ms;
   bool want_patterns = false;
   bool want_json = false;
   std::vector<BurstSpec> bursts;
@@ -109,6 +153,15 @@ int main(int argc, char** argv) {
       threshold = static_cast<DurationNs>(std::atof(next().c_str()) * 1e3);
     } else if (arg == "--save") {
       save_path = next();
+    } else if (arg == "--save-stream") {
+      save_stream_path = next();
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--follow-file") {
+      follow_file = next();
+      follow = true;
+    } else if (arg == "--window") {
+      window = static_cast<DurationNs>(std::atof(next().c_str()) * 1e6);
     } else if (arg == "--patterns") {
       want_patterns = true;
     } else if (arg == "--json") {
@@ -146,6 +199,33 @@ int main(int argc, char** argv) {
   fopt.seed = seed;
   auto net = eval::build_fig10(simulator, &col, fopt);
   nf::Topology& topo = *net.topo;
+
+  online::OnlineOptions oopt;
+  oopt.window_ns = window;
+  oopt.slack_ns = 5_ms;
+  oopt.latency_threshold = threshold;
+  oopt.reconstruct.prop_delay = topo.options().prop_delay;
+
+  if (!follow_file.empty()) {
+    // Tail a previously saved stream trace: no simulation at all. The
+    // node table in the file header registers the nodes on the engine.
+    const auto catalog = eval::make_catalog(topo);
+    online::OnlineEngine eng(trace::graph_view(topo), topo.peak_rates(), oopt);
+    online::TraceFileTailer tailer(follow_file, eng);
+    const auto windows = tailer.drain_to_end();
+    print_follow_windows(windows, eng, catalog);
+    std::vector<core::Diagnosis> diagnoses;
+    for (const online::WindowResult& w : windows)
+      for (const core::Diagnosis& d : w.diagnoses) diagnoses.push_back(d);
+    std::vector<autofocus::Pattern> patterns;
+    if (want_patterns) patterns = eng.aggregator().patterns(catalog);
+    if (want_json) {
+      std::cout << eval::report_to_json(diagnoses, catalog, patterns) << "\n";
+    } else {
+      eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
+    }
+    return 0;
+  }
 
   nf::CaidaLikeOptions topts;
   topts.duration = duration;
@@ -214,22 +294,39 @@ int main(int argc, char** argv) {
     collector::save_trace(col, save_path);
     std::cout << "trace saved to " << save_path << "\n";
   }
+  if (!save_stream_path.empty()) {
+    collector::save_trace_stream(col, save_stream_path);
+    std::cout << "stream trace saved to " << save_stream_path
+              << " (tailable with --follow-file)\n";
+  }
 
   // ---- diagnose + report ----
-  trace::ReconstructOptions ropt;
-  ropt.prop_delay = topo.options().prop_delay;
-  const auto rt = trace::reconstruct(col, trace::graph_view(topo), ropt);
-  core::Diagnoser diag(rt, topo.peak_rates());
-
-  std::vector<core::Diagnosis> diagnoses;
-  for (const core::Victim& v : diag.latency_victims_by_threshold(threshold))
-    diagnoses.push_back(diag.diagnose(v));
-
-  std::vector<autofocus::Pattern> patterns;
   const auto catalog = eval::make_catalog(topo);
-  if (want_patterns) {
-    patterns = autofocus::aggregate_patterns(
-        autofocus::flatten_diagnoses(diagnoses), catalog, {});
+  std::vector<core::Diagnosis> diagnoses;
+  std::vector<autofocus::Pattern> patterns;
+  if (follow) {
+    // Stream the collected records through the online engine instead of
+    // one offline pass: windowed diagnosis + live culprit board.
+    online::OnlineEngine eng(trace::graph_view(topo), topo.peak_rates(), oopt);
+    const auto windows = online::replay_collector(col, eng);
+    print_follow_windows(windows, eng, catalog);
+    std::cout << "\n";
+    for (const online::WindowResult& w : windows)
+      for (const core::Diagnosis& d : w.diagnoses) diagnoses.push_back(d);
+    if (want_patterns) patterns = eng.aggregator().patterns(catalog);
+  } else {
+    trace::ReconstructOptions ropt;
+    ropt.prop_delay = topo.options().prop_delay;
+    const auto rt = trace::reconstruct(col, trace::graph_view(topo), ropt);
+    core::Diagnoser diag(rt, topo.peak_rates());
+
+    for (const core::Victim& v : diag.latency_victims_by_threshold(threshold))
+      diagnoses.push_back(diag.diagnose(v));
+
+    if (want_patterns) {
+      patterns = autofocus::aggregate_patterns(
+          autofocus::flatten_diagnoses(diagnoses), catalog, {});
+    }
   }
   if (want_json) {
     std::cout << eval::report_to_json(diagnoses, catalog, patterns) << "\n";

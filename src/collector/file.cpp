@@ -71,6 +71,82 @@ void save_trace(const Collector& col, const std::string& path) {
   if (!os) throw std::runtime_error("write failed: " + path);
 }
 
+void save_trace_stream(const Collector& col, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+
+  put(os, kTraceFileMagic);
+  put(os, kTraceFileVersion);
+
+  std::vector<NodeId> nodes;
+  for (NodeId id = 0; id < col.node_count(); ++id)
+    if (col.has_node(id)) nodes.push_back(id);
+  put(os, static_cast<std::uint32_t>(nodes.size()));
+  for (const NodeId id : nodes) {
+    put(os, id);
+    put(os, static_cast<std::uint8_t>(col.node(id).full_flow ? 1 : 0));
+  }
+
+  // One cursor per (node, direction) stream; per-node record order must
+  // survive the interleave, so the merge always advances the stream whose
+  // *head* has the smallest timestamp (ties broken by node id, rx first).
+  struct Cursor {
+    NodeId node;
+    Direction dir;
+    std::size_t next{0};
+  };
+  std::vector<Cursor> cursors;
+  for (const NodeId id : nodes) {
+    if (!col.node(id).rx_batches.empty())
+      cursors.push_back({id, Direction::kRx, 0});
+    if (!col.node(id).tx_batches.empty())
+      cursors.push_back({id, Direction::kTx, 0});
+  }
+
+  std::vector<std::byte> buf;
+  while (true) {
+    Cursor* best = nullptr;
+    TimeNs best_ts = kTimeNever;
+    for (Cursor& c : cursors) {
+      const NodeTrace& t = col.node(c.node);
+      const auto& batches =
+          c.dir == Direction::kRx ? t.rx_batches : t.tx_batches;
+      if (c.next >= batches.size()) continue;
+      const TimeNs ts = batches[c.next].ts;
+      if (!best || ts < best_ts ||
+          (ts == best_ts && (c.node < best->node ||
+                             (c.node == best->node &&
+                              c.dir == Direction::kRx &&
+                              best->dir == Direction::kTx)))) {
+        best = &c;
+        best_ts = ts;
+      }
+    }
+    if (!best) break;
+
+    const NodeTrace& t = col.node(best->node);
+    const auto& batches =
+        best->dir == Direction::kRx ? t.rx_batches : t.tx_batches;
+    const BatchRecord& rec = batches[best->next++];
+    std::vector<Packet> pkts(rec.count);
+    for (std::uint16_t i = 0; i < rec.count; ++i) {
+      if (best->dir == Direction::kRx) {
+        pkts[i].ipid = t.rx_ipids[rec.begin + i];
+      } else {
+        pkts[i].ipid = t.tx_ipids[rec.begin + i];
+        if (t.full_flow) pkts[i].flow = t.tx_flows[rec.begin + i];
+      }
+    }
+    buf.clear();
+    encode_batch(buf, best->dir, best->node,
+                 best->dir == Direction::kTx ? rec.peer : kInvalidNode, rec.ts,
+                 pkts, best->dir == Direction::kTx && t.full_flow);
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+  }
+  if (!os) throw std::runtime_error("write failed: " + path);
+}
+
 Collector load_trace(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);

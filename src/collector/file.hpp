@@ -21,6 +21,14 @@ inline constexpr std::uint16_t kTraceFileVersion = 1;
 /// Serialize the store to `path`. Throws std::runtime_error on I/O failure.
 void save_trace(const Collector& col, const std::string& path);
 
+/// Like save_trace, but batch records are interleaved across nodes in
+/// global timestamp order (per-node record order is preserved exactly via
+/// a k-way merge on stream heads). The resulting file is byte-compatible
+/// with load_trace and, unlike the node-major layout, can be *tailed* by
+/// the online engine: watermarks advance and windows close while the file
+/// is still being read.
+void save_trace_stream(const Collector& col, const std::string& path);
+
 /// Load a trace written by save_trace. The returned collector has no
 /// ground-truth sidecar. Throws std::runtime_error on I/O or format errors.
 Collector load_trace(const std::string& path);

@@ -40,8 +40,10 @@ RingCollector::RingCollector() : RingCollector(Options{}) {}
 RingCollector::RingCollector(Options opts)
     : store_(opts.store),
       ring_(opts.ring_bytes),
-      decoder_(store_),
-      dumper_([this] { dumper_main(); }) {}
+      external_drain_(opts.external_drain),
+      decoder_(store_) {
+  if (!external_drain_) dumper_ = std::thread([this] { dumper_main(); });
+}
 
 RingCollector::~RingCollector() {
   stop_.store(true, std::memory_order_release);
@@ -78,10 +80,17 @@ void RingCollector::on_tx(NodeId id, NodeId peer, TimeNs ts,
 }
 
 void RingCollector::flush() {
+  if (external_drain_) return;
   while (decoder_.decoded_batches() <
          pushed_.load(std::memory_order_acquire)) {
     std::this_thread::yield();
   }
+}
+
+std::size_t RingCollector::drain(std::span<std::byte> out) {
+  if (!external_drain_)
+    throw std::logic_error("RingCollector::drain needs external_drain mode");
+  return ring_.pop(out);
 }
 
 void RingCollector::dumper_main() {

@@ -41,11 +41,18 @@ class SpscByteRing {
 
 /// Collector front-end that encodes records into a ring, with a dumper
 /// thread decoding them into an owned offline Collector.
+///
+/// With `Options::external_drain` no dumper thread is spawned; instead a
+/// consumer (e.g. the online streaming engine) calls `drain()` to pull raw
+/// wire bytes out of the ring at its own pace and decodes them itself. In
+/// that mode the owned store only ever sees node registrations.
 class RingCollector {
  public:
   struct Options {
     std::size_t ring_bytes = 1 << 22;  // 4 MiB
     CollectorOptions store;
+    /// Skip the dumper thread; the consumer drains the ring via drain().
+    bool external_drain = false;
   };
 
   RingCollector();
@@ -59,11 +66,25 @@ class RingCollector {
   void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch);
   void on_tx(NodeId id, NodeId peer, TimeNs ts, std::span<const Packet> batch);
 
-  /// Block until every record pushed so far has been decoded.
+  /// Block until every record pushed so far has been decoded. No-op in
+  /// external-drain mode (there is no dumper to wait for).
   void flush();
 
   /// Records dropped because the ring was full.
   std::uint64_t overruns() const { return overruns_.load(); }
+
+  /// Drain-side view of producer overruns: the monotonic count of records
+  /// dropped before they ever reached the ring. Unlike detecting an
+  /// overrun after a batch mismatch, a consumer can poll this alongside
+  /// every drain() and surface the loss live (the online engine does).
+  std::uint64_t dropped_records() const {
+    return overruns_.load(std::memory_order_acquire);
+  }
+
+  /// External-drain mode only: pop up to out.size() raw wire bytes from
+  /// the ring. Returns bytes popped (0 when the ring is empty). Throws
+  /// std::logic_error when a dumper thread owns the ring.
+  std::size_t drain(std::span<std::byte> out);
 
   /// The offline store (flush() first for a consistent view).
   const Collector& store() const { return store_; }
@@ -78,6 +99,7 @@ class RingCollector {
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> overruns_{0};
   std::atomic<bool> stop_{false};
+  bool external_drain_{false};
   WireDecoder decoder_;
   std::thread dumper_;
 };

@@ -50,13 +50,13 @@ std::size_t encode_batch(std::vector<std::byte>& out, Direction dir, NodeId node
   return out.size() - before;
 }
 
-void WireDecoder::feed(std::span<const std::byte> bytes) {
+void WireCallbackDecoder::feed(std::span<const std::byte> bytes) {
   pending_.insert(pending_.end(), bytes.begin(), bytes.end());
   while (try_decode_one()) {
   }
 }
 
-bool WireDecoder::try_decode_one() {
+bool WireCallbackDecoder::try_decode_one() {
   // Minimum header: kind(1) + node(4) + ts(8) + count(2).
   if (pending_.size() < 15) return false;
   const std::byte* p = pending_.data();
@@ -75,19 +75,21 @@ bool WireDecoder::try_decode_one() {
   const auto count = get<std::uint16_t>(p + off);
   off += 2;
 
-  const bool full = sink_->has_node(node) && sink_->node(node).full_flow;
+  const bool full = kind == 1 && full_flow_(node);
   std::size_t need = off + 2ull * count;
-  if (full && kind == 1) need += 13ull * count;
+  if (full) need += 13ull * count;
   if (pending_.size() < need) return false;
 
-  // Materialize packets and hand them to the collector through its normal
-  // API so downstream consumers see one canonical representation.
-  std::vector<Packet> pkts(count);
+  scratch_.dir = kind == 0 ? Direction::kRx : Direction::kTx;
+  scratch_.node = node;
+  scratch_.peer = peer;
+  scratch_.ts = ts;
+  scratch_.pkts.assign(count, Packet{});
   for (std::uint16_t i = 0; i < count; ++i) {
-    pkts[i].ipid = get<std::uint16_t>(p + off);
+    scratch_.pkts[i].ipid = get<std::uint16_t>(p + off);
     off += 2;
   }
-  if (full && kind == 1) {
+  if (full) {
     for (std::uint16_t i = 0; i < count; ++i) {
       FiveTuple ft;
       ft.src_ip = get<std::uint32_t>(p + off);
@@ -95,19 +97,31 @@ bool WireDecoder::try_decode_one() {
       ft.src_port = get<std::uint16_t>(p + off + 8);
       ft.dst_port = get<std::uint16_t>(p + off + 10);
       ft.proto = get<std::uint8_t>(p + off + 12);
-      pkts[i].flow = ft;
+      scratch_.pkts[i].flow = ft;
       off += 13;
     }
   }
-  if (kind == 0) {
-    sink_->on_rx(node, ts, pkts);
-  } else {
-    sink_->on_tx(node, peer, ts, pkts);
-  }
+  on_batch_(scratch_);
   pending_.erase(pending_.begin(),
                  pending_.begin() + static_cast<std::ptrdiff_t>(need));
   decoded_.fetch_add(1, std::memory_order_release);
   return true;
 }
+
+WireDecoder::WireDecoder(Collector& sink)
+    : sink_(&sink),
+      inner_(
+          [this](NodeId node) {
+            return sink_->has_node(node) && sink_->node(node).full_flow;
+          },
+          [this](const DecodedBatch& b) {
+            // Hand the batch to the collector through its normal API so
+            // downstream consumers see one canonical representation.
+            if (b.dir == Direction::kRx) {
+              sink_->on_rx(b.node, b.ts, b.pkts);
+            } else {
+              sink_->on_tx(b.node, b.peer, b.ts, b.pkts);
+            }
+          }) {}
 
 }  // namespace microscope::collector

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -31,11 +32,27 @@ std::size_t encode_batch(std::vector<std::byte>& out, Direction dir, NodeId node
                          NodeId peer, TimeNs ts, std::span<const Packet> batch,
                          bool full_flow);
 
-/// Incremental decoder: feed bytes, emits decoded batches into a Collector.
-/// Handles records split across feed() calls (as happens with a ring).
-class WireDecoder {
+/// One batch decoded off the wire, independent of any Collector store.
+struct DecodedBatch {
+  Direction dir{Direction::kRx};
+  NodeId node{kInvalidNode};
+  NodeId peer{kInvalidNode};  // tx only
+  TimeNs ts{0};
+  std::vector<Packet> pkts;  // ipid always; flow only for full-flow tx
+};
+
+/// Incremental decoder that hands complete batches to a callback. Handles
+/// records split across feed() calls (as happens with a byte ring or a
+/// tailed file). The wire format does not mark whether a tx record carries
+/// five-tuples, so the caller supplies a `full_flow(node)` predicate —
+/// normally backed by the node registration table.
+class WireCallbackDecoder {
  public:
-  explicit WireDecoder(Collector& sink) : sink_(&sink) {}
+  using FullFlowFn = std::function<bool(NodeId)>;
+  using BatchFn = std::function<void(const DecodedBatch&)>;
+
+  WireCallbackDecoder(FullFlowFn full_flow, BatchFn on_batch)
+      : full_flow_(std::move(full_flow)), on_batch_(std::move(on_batch)) {}
 
   /// Consume `bytes`; any trailing partial record is buffered.
   void feed(std::span<const std::byte> bytes);
@@ -52,9 +69,30 @@ class WireDecoder {
  private:
   bool try_decode_one();
 
-  Collector* sink_;
+  FullFlowFn full_flow_;
+  BatchFn on_batch_;
   std::vector<std::byte> pending_;
+  DecodedBatch scratch_;
   std::atomic<std::uint64_t> decoded_{0};
+};
+
+/// Incremental decoder that emits decoded batches into a Collector (the
+/// ring-dumper and trace-file loading path).
+class WireDecoder {
+ public:
+  explicit WireDecoder(Collector& sink);
+
+  /// Consume `bytes`; any trailing partial record is buffered.
+  void feed(std::span<const std::byte> bytes) { inner_.feed(bytes); }
+
+  std::uint64_t decoded_batches() const { return inner_.decoded_batches(); }
+
+  /// True if no partial record is pending.
+  bool drained() const { return inner_.drained(); }
+
+ private:
+  Collector* sink_;
+  WireCallbackDecoder inner_;
 };
 
 }  // namespace microscope::collector

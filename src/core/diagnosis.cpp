@@ -48,6 +48,15 @@ Diagnosis Diagnoser::diagnose(const Victim& v) const {
 
 namespace {
 
+/// Canonical flow-weight order: weight descending, five-tuple ascending.
+/// The tuple tie-break keeps relation output independent of hash-map
+/// iteration order, so a windowed (online) diagnosis of the same victim is
+/// byte-identical to the full-trace one.
+bool flow_weight_before(const FlowWeight& a, const FlowWeight& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  return a.flow < b.flow;
+}
+
 /// Per-path PreSet subset: identical node sequences share a group.
 struct PathGroup {
   std::vector<std::uint32_t> jids;
@@ -199,10 +208,7 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
         rel.flows.push_back(
             {fc.first, score * fc.second /
                            static_cast<double>(nf_jids[u].size())});
-      std::sort(rel.flows.begin(), rel.flows.end(),
-                [](const FlowWeight& a, const FlowWeight& b) {
-                  return a.weight > b.weight;
-                });
+      std::sort(rel.flows.begin(), rel.flows.end(), flow_weight_before);
       if (rel.flows.size() > opts_.max_flows_per_relation)
         rel.flows.resize(opts_.max_flows_per_relation);
       out.relations.push_back(std::move(rel));
@@ -257,10 +263,7 @@ void Diagnoser::emit_source(NodeId source, double score, int depth, TimeNs t0,
   for (auto& [h, fc] : counts)
     rel.flows.push_back(
         {fc.first, score * fc.second / static_cast<double>(journeys.size())});
-  std::sort(rel.flows.begin(), rel.flows.end(),
-            [](const FlowWeight& a, const FlowWeight& b) {
-              return a.weight > b.weight;
-            });
+  std::sort(rel.flows.begin(), rel.flows.end(), flow_weight_before);
   if (rel.flows.size() > opts_.max_flows_per_relation)
     rel.flows.resize(opts_.max_flows_per_relation);
   out.relations.push_back(std::move(rel));
@@ -285,10 +288,7 @@ std::vector<FlowWeight> Diagnoser::period_flows(NodeId node,
   if (total == 0.0) return out;
   for (auto& [h, fc] : counts)
     out.push_back({fc.first, score * fc.second / total});
-  std::sort(out.begin(), out.end(),
-            [](const FlowWeight& a, const FlowWeight& b) {
-              return a.weight > b.weight;
-            });
+  std::sort(out.begin(), out.end(), flow_weight_before);
   if (out.size() > opts_.max_flows_per_relation)
     out.resize(opts_.max_flows_per_relation);
   return out;

@@ -11,6 +11,7 @@
 //   trace/      cross-NF trace reconstruction (IPID disambiguation)
 //   core/       queuing-period diagnosis: local, propagation, recursion
 //   autofocus/  causal pattern aggregation (hierarchical heavy hitters)
+//   online/     streaming diagnosis: windows, watermarks, live aggregation
 //   netmedic/   the time-window-correlation baseline
 //   eval/       paper scenarios, experiment runner, oracle, reports
 #pragma once
@@ -53,6 +54,12 @@
 #include "autofocus/aggregate.hpp"
 #include "autofocus/hhh.hpp"
 #include "autofocus/hierarchy.hpp"
+
+#include "online/aggregator.hpp"
+#include "online/engine.hpp"
+#include "online/replay.hpp"
+#include "online/stream_store.hpp"
+#include "online/window.hpp"
 
 #include "netmedic/netmedic.hpp"
 

@@ -1,0 +1,77 @@
+#include "online/aggregator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microscope::online {
+
+StreamingAggregator::StreamingAggregator(StreamingAggregatorOptions opts)
+    : opts_(opts) {}
+
+void StreamingAggregator::ingest(std::span<const core::Diagnosis> diagnoses) {
+  // Decay first so the newest window always enters at full weight.
+  for (auto it = board_.begin(); it != board_.end();) {
+    it->second.score *= opts_.decay;
+    if (it->second.score < opts_.min_score) {
+      it = board_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const core::Diagnosis& d : diagnoses) {
+    for (const core::CausalRelation& rel : d.relations) {
+      Entry& e = board_[rel.culprit];
+      e.score += rel.score;
+      e.last_seen = std::max(e.last_seen, rel.culprit_t1);
+    }
+  }
+  // windows_seen counts windows, not relations: one pass over the distinct
+  // culprits of this window.
+  std::map<core::Culprit, bool> seen;
+  for (const core::Diagnosis& d : diagnoses)
+    for (const core::CausalRelation& rel : d.relations) seen[rel.culprit] = true;
+  for (const auto& [culprit, _] : seen) board_[culprit].windows_seen += 1;
+
+  recent_.push_back(autofocus::flatten_diagnoses(diagnoses));
+  while (recent_.size() > opts_.max_windows) recent_.pop_front();
+  ++windows_;
+}
+
+std::vector<StreamingAggregator::TopCulprit> StreamingAggregator::top() const {
+  std::vector<TopCulprit> out;
+  out.reserve(board_.size());
+  for (const auto& [culprit, e] : board_)
+    out.push_back({culprit, e.score, e.windows_seen, e.last_seen});
+  std::sort(out.begin(), out.end(),
+            [](const TopCulprit& a, const TopCulprit& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.culprit < b.culprit;
+            });
+  if (out.size() > opts_.top_k) out.resize(opts_.top_k);
+  return out;
+}
+
+std::vector<autofocus::Pattern> StreamingAggregator::patterns(
+    const autofocus::NfCatalog& catalog,
+    const autofocus::AggregateOptions& opts) const {
+  std::vector<autofocus::RelationRecord> all;
+  all.reserve(retained_records());
+  // Oldest retained window gets the deepest decay.
+  double scale = std::pow(opts_.decay, recent_.empty() ? 0 : recent_.size() - 1);
+  for (const auto& window : recent_) {
+    for (autofocus::RelationRecord r : window) {
+      r.score *= scale;
+      all.push_back(r);
+    }
+    scale /= opts_.decay > 0 ? opts_.decay : 1.0;
+  }
+  return autofocus::aggregate_patterns(all, catalog, opts);
+}
+
+std::size_t StreamingAggregator::retained_records() const {
+  std::size_t n = 0;
+  for (const auto& w : recent_) n += w.size();
+  return n;
+}
+
+}  // namespace microscope::online

@@ -1,0 +1,78 @@
+// Live culprit aggregation across closed windows.
+//
+// Folds each window's per-victim diagnoses into (1) an exponentially
+// decaying per-culprit score board — the operator's "who is hurting us
+// right now" top-k — and (2) a bounded buffer of flattened causal-relation
+// records over the most recent windows, on which the existing AutoFocus
+// two-phase pattern aggregation (§4.4) can be run at any time for a live
+// hierarchical pattern view. Memory is bounded by `max_windows` regardless
+// of stream length.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "autofocus/aggregate.hpp"
+#include "core/relation.hpp"
+
+namespace microscope::online {
+
+struct StreamingAggregatorOptions {
+  /// Multiplier applied to every accumulated score at each window close;
+  /// 1.0 = never forget, 0.0 = only the latest window.
+  double decay = 0.8;
+  /// Size of the live culprit board returned by top().
+  std::size_t top_k = 10;
+  /// Windows of relation records retained for pattern aggregation.
+  std::size_t max_windows = 32;
+  /// Culprits decayed below this score are dropped from the board.
+  double min_score = 1e-6;
+};
+
+class StreamingAggregator {
+ public:
+  struct TopCulprit {
+    core::Culprit culprit{};
+    /// Decayed cumulative score.
+    double score{0.0};
+    /// Number of closed windows in which this culprit appeared.
+    std::uint64_t windows_seen{0};
+    /// End of the culprit's most recent behaviour interval.
+    TimeNs last_seen{0};
+  };
+
+  explicit StreamingAggregator(StreamingAggregatorOptions opts = {});
+
+  /// Fold one closed window's diagnoses in (decays everything first).
+  void ingest(std::span<const core::Diagnosis> diagnoses);
+
+  /// The live board: top culprits by decayed score, ties broken by
+  /// (node, kind) so the order is deterministic.
+  std::vector<TopCulprit> top() const;
+
+  /// Run §4.4 pattern aggregation over the retained window records, each
+  /// window's scores scaled by its decay factor.
+  std::vector<autofocus::Pattern> patterns(
+      const autofocus::NfCatalog& catalog,
+      const autofocus::AggregateOptions& opts = {}) const;
+
+  std::uint64_t windows_ingested() const { return windows_; }
+  std::size_t retained_records() const;
+
+ private:
+  struct Entry {
+    double score{0.0};
+    std::uint64_t windows_seen{0};
+    TimeNs last_seen{0};
+  };
+
+  StreamingAggregatorOptions opts_;
+  std::map<core::Culprit, Entry> board_;  // ordered: deterministic output
+  std::deque<std::vector<autofocus::RelationRecord>> recent_;  // per window
+  std::uint64_t windows_{0};
+};
+
+}  // namespace microscope::online

@@ -1,0 +1,173 @@
+#include "online/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace microscope::online {
+
+core::DiagnoserOptions streaming_diagnoser_defaults() {
+  core::DiagnoserOptions opts;
+  opts.abnormal_stddev_k = std::numeric_limits<double>::infinity();
+  return opts;
+}
+
+namespace {
+
+DurationNs derive_history(const OnlineOptions& o) {
+  if (o.history_ns > 0) return o.history_ns;
+  // Worst-case lookback of a recursive diagnosis anchored at the window
+  // start: each of the max_depth levels can walk one queuing period
+  // (<= max_lookback) plus a propagation hop, and the victim's own journey
+  // spans at most slack back to its source record.
+  const auto& d = o.diagnoser;
+  return d.max_depth *
+             (d.period.max_lookback + o.reconstruct.prop_delay) +
+         o.slack_ns;
+}
+
+}  // namespace
+
+OnlineEngine::OnlineEngine(trace::GraphView graph,
+                           std::vector<RatePerNs> peak_rates,
+                           OnlineOptions opts)
+    : graph_(std::move(graph)),
+      peak_rates_(std::move(peak_rates)),
+      opts_(opts),
+      history_ns_(derive_history(opts)),
+      wm_(opts.window_ns, opts.slack_ns, opts.idle_timeout_ns),
+      agg_(opts.aggregator),
+      decoder_(
+          [this](NodeId n) { return store_.has_node(n) && store_.full_flow(n); },
+          [this](const collector::DecodedBatch& b) {
+            ingest(b.dir, b.node, b.peer, b.ts, b.pkts);
+          }) {}
+
+void OnlineEngine::register_node(NodeId id, bool full_flow) {
+  store_.register_node(id, full_flow);
+  wm_.register_node(id);
+}
+
+void OnlineEngine::on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) {
+  ingest(collector::Direction::kRx, id, kInvalidNode, ts, batch);
+}
+
+void OnlineEngine::on_tx(NodeId id, NodeId peer, TimeNs ts,
+                         std::span<const Packet> batch) {
+  ingest(collector::Direction::kTx, id, peer, ts, batch);
+}
+
+void OnlineEngine::feed_bytes(std::span<const std::byte> bytes) {
+  decoder_.feed(bytes);
+}
+
+std::size_t OnlineEngine::drain_ring(collector::RingCollector& ring,
+                                     std::size_t max_bytes) {
+  std::byte buf[4096];
+  std::size_t total = 0;
+  while (total < max_bytes) {
+    const std::size_t want = std::min(sizeof(buf), max_bytes - total);
+    const std::size_t got = ring.drain(std::span(buf, want));
+    if (got == 0) break;
+    feed_bytes(std::span(buf, got));
+    total += got;
+  }
+  stats_.ring_dropped_records = ring.dropped_records();
+  return total;
+}
+
+void OnlineEngine::ingest(collector::Direction dir, NodeId node, NodeId peer,
+                          TimeNs ts, std::span<const Packet> pkts) {
+  // The watermark advances even for records we end up dropping: the node's
+  // stream demonstrably reached `ts`, and stalling the watermark would
+  // wedge every later window behind a drop.
+  wm_.note(node, ts);
+  if (wm_.closed_end() != WindowManager::kWatermarkNone &&
+      ts < wm_.closed_end()) {
+    ++stats_.late_dropped_batches;
+    return;
+  }
+  if (opts_.max_retained_batches > 0 &&
+      store_.retained_batches() >= opts_.max_retained_batches) {
+    ++stats_.backpressure_dropped_batches;
+    return;
+  }
+  StreamBatch b;
+  b.dir = dir;
+  b.peer = peer;
+  b.ts = ts;
+  b.pkts.assign(pkts.begin(), pkts.end());
+  store_.add(node, std::move(b));
+  ++stats_.batches_ingested;
+  stats_.packets_ingested += pkts.size();
+}
+
+std::vector<WindowResult> OnlineEngine::poll() { return close_ready(false); }
+
+std::vector<WindowResult> OnlineEngine::finish() { return close_ready(true); }
+
+std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
+  std::vector<WindowResult> out;
+  WindowBounds b;
+  while (wm_.next_closable(b, finishing)) {
+    WindowResult res = diagnose_window(b);
+    agg_.ingest(res.diagnoses);
+    ++stats_.windows_closed;
+    if (b.idle_forced) ++stats_.windows_idle_forced;
+    wm_.advance();
+    // Everything older than what the *next* window can reach is dead. The
+    // extra slack_ns covers the tx-side alignment warm-up margin that the
+    // next materialization will extend below its rx cut.
+    store_.evict_before(b.end - history_ns_ - opts_.slack_ns);
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
+  WindowResult res;
+  res.index = b.index;
+  res.start = b.start;
+  res.end = b.end;
+  res.idle_forced = b.idle_forced;
+
+  const TimeNs lo = b.start - history_ns_;
+  const TimeNs hi = b.end + wm_.slack_ns();
+  if (store_.empty_in(lo, hi)) {
+    ++stats_.windows_skipped_empty;
+    return res;
+  }
+
+  // Tx side reaches slack below the rx cut so that every in-slice rx
+  // entry's origin tx is present — see StreamStore::materialize.
+  collector::Collector col = store_.materialize(lo, hi, lo - wm_.slack_ns());
+  trace::ReconstructedTrace rt =
+      trace::reconstruct(col, graph_, opts_.reconstruct);
+  res.journeys = rt.journeys().size();
+
+  core::Diagnoser diag(rt, peak_rates_, opts_.diagnoser);
+  std::vector<core::Victim> victims;
+  auto keep = [&](const core::Victim& v) {
+    return v.time >= b.start && v.time < b.end;
+  };
+  if (opts_.diagnose_latency)
+    for (const core::Victim& v :
+         diag.latency_victims_by_threshold(opts_.latency_threshold))
+      if (keep(v)) victims.push_back(v);
+  if (opts_.diagnose_drops)
+    for (const core::Victim& v : diag.drop_victims())
+      if (keep(v)) victims.push_back(v);
+
+  res.diagnoses = diag.diagnose_all(victims);
+  return res;
+}
+
+OnlineStats OnlineEngine::stats() const {
+  OnlineStats s = stats_;
+  s.retained_batches = store_.retained_batches();
+  s.retained_bytes = store_.retained_bytes();
+  s.retained_span_ns = store_.retained_span();
+  return s;
+}
+
+}  // namespace microscope::online

@@ -1,0 +1,168 @@
+// Streaming diagnosis engine (online mode).
+//
+// Incrementally ingests collector record streams — direct hook calls, raw
+// wire bytes, or an external-drain RingCollector — segments them into fixed
+// time windows, and when a window closes (watermark coverage, see
+// window.hpp) materializes the retained records around it, reconstructs,
+// and diagnoses exactly as the offline pipeline would.
+//
+// Equivalence guarantee: for every closed window, the emitted diagnoses are
+// byte-identical to running the offline Diagnoser over the full trace with
+// the same options and keeping the victims anchored inside that window
+// (modulo victim.journey, a reconstruction-instance-local id). This holds
+// for any window size, drain chunk size, and thread count, provided
+//   slack   >= max in-flight time of a packet (queueing + propagation —
+//              this also bounds the delivery tail past a victim anchor), and
+//   history >= diagnosis lookback (max_depth recursions x max_lookback
+//              plus propagation and journey length) plus slack,
+// because then the materialized slice contains every record either side's
+// diagnosis of those victims can touch, and every analysis stage below is
+// deterministic with canonical tie-breaking. The slice's tx side extends
+// slack below the rx side so link alignment resyncs inside the warm-up
+// margin instead of desynchronizing (see StreamStore::materialize); any
+// residual warm-up divergence sits below window_start - history + slack,
+// which the history bound keeps out of every victim's diagnosis reach.
+//
+// Memory is bounded: records are evicted as soon as the last window that
+// may need them closes, so the retained span never exceeds
+// history + window + 2*slack (plus the not-yet-closed tail of the stream).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "collector/ring.hpp"
+#include "collector/wire.hpp"
+#include "core/diagnosis.hpp"
+#include "online/aggregator.hpp"
+#include "online/stream_store.hpp"
+#include "online/window.hpp"
+#include "trace/graph.hpp"
+#include "trace/reconstruct.hpp"
+
+namespace microscope::online {
+
+/// Diagnoser options tuned for streaming: the offline default anchors a
+/// latency victim at the first hop whose local latency is abnormal vs the
+/// *whole-trace* per-hop statistics — a global quantity no online engine
+/// can know. Disabling the stddev test (k = inf) anchors at the journey's
+/// max-latency hop, a pure per-journey function, which makes per-window
+/// output independent of what else is in the trace. Use the same options
+/// offline when comparing.
+core::DiagnoserOptions streaming_diagnoser_defaults();
+
+struct OnlineOptions {
+  /// Window core length.
+  DurationNs window_ns = 10_ms;
+  /// Watermark slack past a window's end before it may close (covers
+  /// propagation + queueing of packets anchored inside the core).
+  DurationNs slack_ns = 2_ms;
+  /// Records older than window_start - history are evicted; 0 derives a
+  /// bound from the diagnoser's recursion depth and period lookback.
+  DurationNs history_ns = 0;
+  /// Force-close a window when the global watermark runs this far past its
+  /// due point while some node's stream is stalled. 0 = wait forever.
+  DurationNs idle_timeout_ns = 0;
+  /// Latency victims: delivered packets with e2e latency above this.
+  DurationNs latency_threshold = 1_ms;
+  bool diagnose_latency = true;
+  bool diagnose_drops = false;
+  /// Backpressure: when the store holds this many batches, further
+  /// ingestion is dropped (and counted) instead of growing memory.
+  /// 0 = unlimited.
+  std::size_t max_retained_batches = 0;
+  core::DiagnoserOptions diagnoser = streaming_diagnoser_defaults();
+  trace::ReconstructOptions reconstruct{};
+  StreamingAggregatorOptions aggregator{};
+};
+
+struct OnlineStats {
+  std::uint64_t batches_ingested{0};
+  std::uint64_t packets_ingested{0};
+  /// Batches older than the newest closed window (only possible after a
+  /// forced close or with out-of-order streams) — dropped, never diagnosed.
+  std::uint64_t late_dropped_batches{0};
+  /// Batches dropped by the max_retained_batches backpressure policy.
+  std::uint64_t backpressure_dropped_batches{0};
+  /// Producer-side ring overruns observed via RingCollector::dropped_records.
+  std::uint64_t ring_dropped_records{0};
+  std::uint64_t windows_closed{0};
+  std::uint64_t windows_idle_forced{0};
+  /// Closed windows whose slice held no records (no diagnosis run).
+  std::uint64_t windows_skipped_empty{0};
+  std::size_t retained_batches{0};
+  std::size_t retained_bytes{0};
+  DurationNs retained_span_ns{0};
+};
+
+/// One closed window's diagnosis output.
+struct WindowResult {
+  std::int64_t index{0};
+  TimeNs start{0};
+  TimeNs end{0};  // exclusive
+  bool idle_forced{false};
+  /// Journeys reconstructed in the window slice (0 when skipped empty).
+  std::size_t journeys{0};
+  /// Diagnoses of victims anchored in [start, end), in deterministic
+  /// victim order. victim.journey is window-local bookkeeping.
+  std::vector<core::Diagnosis> diagnoses;
+};
+
+class OnlineEngine {
+ public:
+  OnlineEngine(trace::GraphView graph, std::vector<RatePerNs> peak_rates,
+               OnlineOptions opts = {});
+
+  /// Declare a node before feeding its records (mirrors Collector).
+  void register_node(NodeId id, bool full_flow);
+
+  // --- ingestion (any mix; per-node streams must be time-ordered) -------
+  void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch);
+  void on_tx(NodeId id, NodeId peer, TimeNs ts, std::span<const Packet> batch);
+
+  /// Feed raw wire-format bytes (chunk boundaries arbitrary; partial
+  /// records are buffered).
+  void feed_bytes(std::span<const std::byte> bytes);
+
+  /// Drain up to `max_bytes` from an external-drain RingCollector and
+  /// ingest them; also snapshots the ring's producer-side drop counter
+  /// into stats(). Returns bytes drained.
+  std::size_t drain_ring(collector::RingCollector& ring,
+                         std::size_t max_bytes = 1 << 16);
+
+  // --- window lifecycle -------------------------------------------------
+  /// Close and diagnose every window whose watermark coverage (or idle
+  /// timeout) allows it. Cheap when nothing is closable.
+  std::vector<WindowResult> poll();
+
+  /// End of stream: close every remaining window that could contain a
+  /// victim, regardless of watermarks.
+  std::vector<WindowResult> finish();
+
+  /// Stats snapshot (retained_* recomputed at call time).
+  OnlineStats stats() const;
+
+  const StreamingAggregator& aggregator() const { return agg_; }
+  const WindowManager& windows() const { return wm_; }
+  /// Effective history (after derivation when options.history_ns == 0).
+  DurationNs history_ns() const { return history_ns_; }
+
+ private:
+  void ingest(collector::Direction dir, NodeId node, NodeId peer, TimeNs ts,
+              std::span<const Packet> pkts);
+  std::vector<WindowResult> close_ready(bool finishing);
+  WindowResult diagnose_window(const WindowBounds& b);
+
+  trace::GraphView graph_;
+  std::vector<RatePerNs> peak_rates_;
+  OnlineOptions opts_;
+  DurationNs history_ns_;
+  StreamStore store_;
+  WindowManager wm_;
+  StreamingAggregator agg_;
+  collector::WireCallbackDecoder decoder_;
+  OnlineStats stats_;
+};
+
+}  // namespace microscope::online

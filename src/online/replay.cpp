@@ -1,0 +1,155 @@
+#include "online/replay.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "collector/file.hpp"
+#include "collector/records.hpp"
+
+namespace microscope::online {
+
+std::vector<WindowResult> replay_collector(const collector::Collector& col,
+                                           OnlineEngine& engine,
+                                           std::size_t poll_every,
+                                           bool finish) {
+  using collector::BatchRecord;
+  using collector::Direction;
+  using collector::NodeTrace;
+
+  for (NodeId id = 0; id < col.node_count(); ++id)
+    if (col.has_node(id)) engine.register_node(id, col.node(id).full_flow);
+
+  struct Cursor {
+    NodeId node;
+    Direction dir;
+    std::size_t next{0};
+  };
+  std::vector<Cursor> cursors;
+  for (NodeId id = 0; id < col.node_count(); ++id) {
+    if (!col.has_node(id)) continue;
+    if (!col.node(id).rx_batches.empty())
+      cursors.push_back({id, Direction::kRx, 0});
+    if (!col.node(id).tx_batches.empty())
+      cursors.push_back({id, Direction::kTx, 0});
+  }
+
+  std::vector<WindowResult> windows;
+  std::vector<Packet> pkts;
+  std::size_t since_poll = 0;
+  while (true) {
+    Cursor* best = nullptr;
+    TimeNs best_ts = kTimeNever;
+    for (Cursor& c : cursors) {
+      const NodeTrace& t = col.node(c.node);
+      const auto& batches =
+          c.dir == Direction::kRx ? t.rx_batches : t.tx_batches;
+      if (c.next >= batches.size()) continue;
+      const TimeNs ts = batches[c.next].ts;
+      if (!best || ts < best_ts ||
+          (ts == best_ts && (c.node < best->node ||
+                             (c.node == best->node &&
+                              c.dir == Direction::kRx &&
+                              best->dir == Direction::kTx)))) {
+        best = &c;
+        best_ts = ts;
+      }
+    }
+    if (!best) break;
+
+    const NodeTrace& t = col.node(best->node);
+    const auto& batches =
+        best->dir == Direction::kRx ? t.rx_batches : t.tx_batches;
+    const BatchRecord& rec = batches[best->next++];
+    pkts.assign(rec.count, Packet{});
+    for (std::uint16_t i = 0; i < rec.count; ++i) {
+      if (best->dir == Direction::kRx) {
+        pkts[i].ipid = t.rx_ipids[rec.begin + i];
+      } else {
+        pkts[i].ipid = t.tx_ipids[rec.begin + i];
+        if (t.full_flow) pkts[i].flow = t.tx_flows[rec.begin + i];
+      }
+    }
+    if (best->dir == Direction::kRx) {
+      engine.on_rx(best->node, rec.ts, pkts);
+    } else {
+      engine.on_tx(best->node, rec.peer, rec.ts, pkts);
+    }
+
+    if (poll_every > 0 && ++since_poll >= poll_every) {
+      since_poll = 0;
+      for (WindowResult& w : engine.poll()) windows.push_back(std::move(w));
+    }
+  }
+  for (WindowResult& w : engine.poll()) windows.push_back(std::move(w));
+  if (finish)
+    for (WindowResult& w : engine.finish()) windows.push_back(std::move(w));
+  return windows;
+}
+
+TraceFileTailer::TraceFileTailer(std::string path, OnlineEngine& engine)
+    : path_(std::move(path)), engine_(&engine) {
+  is_.open(path_, std::ios::binary);
+  if (!is_) throw std::runtime_error("cannot open for reading: " + path_);
+}
+
+void TraceFileTailer::try_parse_header() {
+  // magic u32, version u16, count u32, then count x (node u32, full u8).
+  constexpr std::size_t kFixed = 4 + 2 + 4;
+  if (header_buf_.size() < kFixed) return;
+  std::uint32_t magic;
+  std::uint16_t version;
+  std::uint32_t count;
+  std::memcpy(&magic, header_buf_.data(), 4);
+  std::memcpy(&version, header_buf_.data() + 4, 2);
+  std::memcpy(&count, header_buf_.data() + 6, 4);
+  if (magic != collector::kTraceFileMagic)
+    throw std::runtime_error("not a microscope trace file: " + path_);
+  if (version != collector::kTraceFileVersion)
+    throw std::runtime_error("unsupported trace file version: " + path_);
+  const std::size_t need = kFixed + std::size_t{count} * (4 + 1);
+  if (header_buf_.size() < need) return;
+
+  std::size_t off = kFixed;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t node;
+    std::uint8_t full;
+    std::memcpy(&node, header_buf_.data() + off, 4);
+    std::memcpy(&full, header_buf_.data() + off + 4, 1);
+    off += 5;
+    engine_->register_node(node, full != 0);
+  }
+  header_done_ = true;
+  if (header_buf_.size() > need)
+    engine_->feed_bytes(std::span<const std::byte>(header_buf_.data() + need,
+                                                   header_buf_.size() - need));
+  header_buf_.clear();
+  header_buf_.shrink_to_fit();
+}
+
+std::size_t TraceFileTailer::pump(std::size_t max_bytes) {
+  if (max_bytes == 0) return 0;
+  std::vector<std::byte> chunk(max_bytes);
+  is_.clear();  // recover from a previous EOF: the file may have grown
+  is_.read(reinterpret_cast<char*>(chunk.data()),
+           static_cast<std::streamsize>(chunk.size()));
+  const auto got = static_cast<std::size_t>(is_.gcount());
+  if (got == 0) return 0;
+  if (!header_done_) {
+    header_buf_.insert(header_buf_.end(), chunk.begin(), chunk.begin() + got);
+    try_parse_header();
+  } else {
+    engine_->feed_bytes(std::span<const std::byte>(chunk.data(), got));
+  }
+  return got;
+}
+
+std::vector<WindowResult> TraceFileTailer::drain_to_end(std::size_t chunk) {
+  std::vector<WindowResult> windows;
+  while (pump(chunk) > 0)
+    for (WindowResult& w : engine_->poll()) windows.push_back(std::move(w));
+  for (WindowResult& w : engine_->finish()) windows.push_back(std::move(w));
+  return windows;
+}
+
+}  // namespace microscope::online

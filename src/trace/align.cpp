@@ -225,11 +225,23 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
       int candidates = 0;
       for (std::size_t s = 0; s < streams.size(); ++s) {
         Stream& st = streams[s];
+        // Expired head entries (tx earlier than any remaining read can
+        // explain) are permanently unclaimable: per-node reads are
+        // time-ordered, so read_ts only grows. They occur when the tx
+        // entry's rx record is missing — a partial trace (e.g. a streamed
+        // time slice) or a lost record — and leaving one at the head would
+        // wedge the whole output stream into policy drops.
+        while (!st.exhausted()) {
+          const std::uint32_t h = st.head_entry();
+          if (dt.tx_batches[da.tx_batch_of[h]].ts + opts.slack >= read_ts)
+            break;
+          ++st.head;
+          ++local.internal_expired;
+        }
         if (st.exhausted()) continue;
         const std::uint32_t e = st.head_entry();
         const TimeNs tx_ts = dt.tx_batches[da.tx_batch_of[e]].ts;
         if (dt.tx_ipids[e] != ipid) continue;
-        if (tx_ts + opts.slack < read_ts) continue;
         if (tx_ts - read_ts > opts.max_nf_delay) continue;
         ++candidates;
         if (tx_ts < best_ts) {

@@ -85,6 +85,9 @@ struct AlignStats {
   std::uint64_t queue_drops_inferred{0};
   std::uint64_t internal_matched{0};
   std::uint64_t internal_ambiguous{0};
+  /// Tx entries skipped during internal alignment because no remaining rx
+  /// read could claim them (their rx record fell outside the trace).
+  std::uint64_t internal_expired{0};
   std::uint64_t policy_drops_inferred{0};
 
   AlignStats& operator+=(const AlignStats& o) {
@@ -94,6 +97,7 @@ struct AlignStats {
     queue_drops_inferred += o.queue_drops_inferred;
     internal_matched += o.internal_matched;
     internal_ambiguous += o.internal_ambiguous;
+    internal_expired += o.internal_expired;
     policy_drops_inferred += o.policy_drops_inferred;
     return *this;
   }

@@ -313,9 +313,17 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
               }
             }
           }
-          std::sort(
-              tl.arrivals.begin(), tl.arrivals.end(),
-              [](const Arrival& a, const Arrival& b2) { return a.t < b2.t; });
+          // Total order (tie-break on upstream node + entry): the arrival
+          // sequence must be canonical regardless of which records exist in
+          // the collector, so that a windowed reconstruction of the same
+          // interval orders simultaneous arrivals identically to the full
+          // trace (online/offline equivalence).
+          std::sort(tl.arrivals.begin(), tl.arrivals.end(),
+                    [](const Arrival& a, const Arrival& b2) {
+                      if (a.t != b2.t) return a.t < b2.t;
+                      if (a.from != b2.from) return a.from < b2.from;
+                      return a.up_tx_idx < b2.up_tx_idx;
+                    });
 
           const auto& t = col.node(d);
           tl.reads.reserve(t.rx_batches.size());
