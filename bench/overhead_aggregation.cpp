@@ -3,7 +3,7 @@
 // The paper aggregates 84K causal relations into ~80 patterns in about
 // three minutes. Our decoupled two-phase implementation should scale
 // near-linearly in the relation count.
-#include <benchmark/benchmark.h>
+#include "bench_main.hpp"
 
 #include "autofocus/aggregate.hpp"
 #include "common/rng.hpp"
@@ -108,4 +108,4 @@ BENCHMARK(BM_SideHhh)->Arg(1'000)->Arg(10'000)->Arg(50'000)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MICROSCOPE_BENCH_MAIN("overhead_aggregation");

@@ -4,7 +4,7 @@
 // instrumentation. Here we measure the real CPU cost of the collector hooks
 // per batch/packet (direct store and ring+dumper paths) and report the
 // implied degradation at each NF type's peak rate.
-#include <benchmark/benchmark.h>
+#include "bench_main.hpp"
 
 #include "microscope/microscope.hpp"
 
@@ -105,4 +105,4 @@ BENCHMARK(BM_ImpliedDegradation)->Iterations(200000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MICROSCOPE_BENCH_MAIN("overhead_collector");

@@ -6,7 +6,7 @@
 // single-worker pool to expose the pool's own overhead. Speedups are only
 // meaningful on a machine that actually has the cores — on a single-CPU
 // host every configuration collapses to roughly the sequential rate.
-#include <benchmark/benchmark.h>
+#include "bench_main.hpp"
 
 #include "microscope/microscope.hpp"
 #include "nf/inject.hpp"
@@ -133,4 +133,4 @@ BENCHMARK(BM_EndToEndThreads)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MICROSCOPE_BENCH_MAIN("overhead_parallel");

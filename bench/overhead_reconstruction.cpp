@@ -3,7 +3,7 @@
 // Reconstruction (IPID alignment + journey assembly) is the offline front
 // half of diagnosis; this measures its packet throughput on a Fig. 10
 // trace, plus the alignment-only cost.
-#include <benchmark/benchmark.h>
+#include "bench_main.hpp"
 
 #include "microscope/microscope.hpp"
 
@@ -87,4 +87,4 @@ BENCHMARK(BM_DiagnoseOneVictim)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+MICROSCOPE_BENCH_MAIN("overhead_reconstruction");

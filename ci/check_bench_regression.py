@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json results against the checked-in baseline.
+
+Usage:
+    check_bench_regression.py [--baseline ci/bench_baseline.json]
+                              [--threshold 0.30] [--update] BENCH_*.json ...
+
+Each input file is a google-benchmark JSON report as emitted by
+MICROSCOPE_BENCH_MAIN (bench/bench_util.hpp). The baseline maps
+"<file-stem>/<benchmark-name>" to a reference cpu_time in nanoseconds.
+A benchmark regresses when its cpu_time exceeds baseline * (1 + threshold).
+
+Benchmarks missing from the baseline are reported but do not fail the run
+(new benchmarks need --update to be enrolled); baseline entries missing
+from the inputs fail, so silently dropping a benchmark is caught.
+
+Exit status: 0 clean, 1 regression (or missing benchmark), 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_results(paths):
+    """-> {key: cpu_time_ns}, key = '<file-stem>/<benchmark name>'."""
+    results = {}
+    for path in paths:
+        stem = os.path.basename(path)
+        if stem.startswith("BENCH_"):
+            stem = stem[len("BENCH_"):]
+        if stem.endswith(".json"):
+            stem = stem[: -len(".json")]
+        with open(path) as f:
+            report = json.load(f)
+        for bench in report.get("benchmarks", []):
+            # Skip aggregate rows (mean/median/stddev of repetitions).
+            if bench.get("run_type") == "aggregate":
+                continue
+            ns = to_ns(bench["cpu_time"], bench.get("time_unit", "ns"))
+            results[f"{stem}/{bench['name']}"] = ns
+    return results
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    if unit not in scale:
+        sys.exit(f"unknown time_unit {unit!r}")
+    return value * scale[unit]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="ci/bench_baseline.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("MICROSCOPE_BENCH_THRESHOLD", "0.30")),
+        help="allowed fractional slowdown vs baseline (default 0.30)",
+    )
+    ap.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the given results instead of checking",
+    )
+    ap.add_argument("results", nargs="+", help="BENCH_*.json files")
+    args = ap.parse_args()
+
+    results = load_results(args.results)
+    if not results:
+        sys.exit("no benchmark entries found in the given files")
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(
+                {k: round(v, 1) for k, v in sorted(results.items())},
+                f,
+                indent=2,
+            )
+            f.write("\n")
+        print(f"baseline updated: {len(results)} entries -> {args.baseline}")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    new = []
+    for key, ns in sorted(results.items()):
+        ref = baseline.get(key)
+        if ref is None:
+            new.append(key)
+            continue
+        ratio = ns / ref if ref > 0 else float("inf")
+        marker = "FAIL" if ratio > 1.0 + args.threshold else "ok"
+        print(f"{marker:4} {key}: {ns / 1e6:.3f} ms vs baseline "
+              f"{ref / 1e6:.3f} ms ({ratio - 1.0:+.1%})")
+        if marker == "FAIL":
+            failures.append(key)
+    missing = sorted(set(baseline) - set(results))
+
+    for key in new:
+        print(f"new  {key}: {results[key] / 1e6:.3f} ms (not in baseline; "
+              "run with --update to enroll)")
+    for key in missing:
+        print(f"MISS {key}: in baseline but not in results")
+
+    if failures or missing:
+        print(f"\n{len(failures)} regression(s), {len(missing)} missing "
+              f"benchmark(s) at threshold {args.threshold:.0%}")
+        return 1
+    print(f"\nall {len(results)} benchmarks within {args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,11 +25,18 @@
 //     --window <ms>                   online window size (default 10)
 //     --patterns                      also run pattern aggregation
 //     --json                          emit the report as JSON
+//     --metrics[=json]                after the report, dump the pipeline's
+//                                     self-observability metrics (human text
+//                                     or stable JSON; see src/obs/)
+//     --metrics-every <n>             in --follow mode, also dump metrics to
+//                                     stderr every n closed windows
+//                                     (default 10; 0 disables)
 //
 // Examples:
 //   microscope_cli --duration 200 --burst t=60,n=2000 --patterns
 //   microscope_cli --interrupt nf=nat1,t=60,len=800 --follow --window 20
 //   microscope_cli --save-stream trace.bin && microscope_cli --follow-file trace.bin
+//   microscope_cli --metrics=json | tail -1 | python3 -m json.tool
 
 #include <cstring>
 #include <iostream>
@@ -87,16 +94,30 @@ const char* culprit_name(const autofocus::NfCatalog& catalog, NodeId node) {
                                           : "?";
 }
 
-/// Per-window summaries, stream counters, and the live culprit board.
-void print_follow_windows(const std::vector<online::WindowResult>& windows,
-                          const online::OnlineEngine& eng,
+void print_window_line(const online::WindowResult& w) {
+  std::cout << "window #" << w.index << " [" << to_ms(w.start) << ", "
+            << to_ms(w.end) << ") ms: " << w.journeys << " journeys, "
+            << w.diagnoses.size() << " victims"
+            << (w.idle_forced ? " (idle-forced)" : "") << "\n";
+}
+
+/// Live per-window observer: prints each window as it closes and dumps a
+/// metrics snapshot to stderr every `metrics_every` windows.
+online::WindowCallback follow_observer(std::size_t metrics_every) {
+  auto seen = std::make_shared<std::size_t>(0);
+  return [metrics_every, seen](const online::WindowResult& w) {
+    print_window_line(w);
+    if (metrics_every > 0 && ++*seen % metrics_every == 0) {
+      std::cerr << "--- metrics after " << *seen << " windows ---\n"
+                << obs::to_text(obs::Registry::global().snapshot());
+    }
+  };
+}
+
+/// Stream counters and the live culprit board (windows were already
+/// printed live by follow_observer).
+void print_follow_summary(const online::OnlineEngine& eng,
                           const autofocus::NfCatalog& catalog) {
-  for (const online::WindowResult& w : windows) {
-    std::cout << "window #" << w.index << " [" << to_ms(w.start) << ", "
-              << to_ms(w.end) << ") ms: " << w.journeys << " journeys, "
-              << w.diagnoses.size() << " victims"
-              << (w.idle_forced ? " (idle-forced)" : "") << "\n";
-  }
   const online::OnlineStats st = eng.stats();
   std::cout << "\nstream: " << st.batches_ingested << " batches ("
             << st.packets_ingested << " pkts), " << st.windows_closed
@@ -129,6 +150,9 @@ int main(int argc, char** argv) {
   DurationNs window = 10_ms;
   bool want_patterns = false;
   bool want_json = false;
+  bool want_metrics = false;
+  bool metrics_json = false;
+  std::size_t metrics_every = 10;
   std::vector<BurstSpec> bursts;
   std::vector<InterruptSpec> interrupts;
   std::optional<BugSpec> bug;
@@ -166,6 +190,15 @@ int main(int argc, char** argv) {
       want_patterns = true;
     } else if (arg == "--json") {
       want_json = true;
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+    } else if (arg == "--metrics=json") {
+      want_metrics = true;
+      metrics_json = true;
+    } else if (arg == "--metrics=text") {
+      want_metrics = true;
+    } else if (arg == "--metrics-every") {
+      metrics_every = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--burst") {
       const auto kv = parse_kv(next());
       bursts.push_back({static_cast<TimeNs>(get_num(kv, "t", 50) * 1e6),
@@ -206,14 +239,25 @@ int main(int argc, char** argv) {
   oopt.latency_threshold = threshold;
   oopt.reconstruct.prop_delay = topo.options().prop_delay;
 
+  // Registered up front so --metrics exports enumerate every pipeline
+  // stage, zero-valued where this invocation never ran one.
+  obs::register_pipeline_metrics();
+  auto dump_metrics = [&] {
+    if (!want_metrics) return;
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    std::cout << (metrics_json ? obs::to_json(snap) + "\n"
+                               : obs::to_text(snap));
+  };
+
   if (!follow_file.empty()) {
     // Tail a previously saved stream trace: no simulation at all. The
     // node table in the file header registers the nodes on the engine.
     const auto catalog = eval::make_catalog(topo);
     online::OnlineEngine eng(trace::graph_view(topo), topo.peak_rates(), oopt);
     online::TraceFileTailer tailer(follow_file, eng);
-    const auto windows = tailer.drain_to_end();
-    print_follow_windows(windows, eng, catalog);
+    const auto windows = tailer.drain_to_end(
+        1 << 12, follow_observer(want_metrics ? metrics_every : 0));
+    print_follow_summary(eng, catalog);
     std::vector<core::Diagnosis> diagnoses;
     for (const online::WindowResult& w : windows)
       for (const core::Diagnosis& d : w.diagnoses) diagnoses.push_back(d);
@@ -224,6 +268,7 @@ int main(int argc, char** argv) {
     } else {
       eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
     }
+    dump_metrics();
     return 0;
   }
 
@@ -308,8 +353,9 @@ int main(int argc, char** argv) {
     // Stream the collected records through the online engine instead of
     // one offline pass: windowed diagnosis + live culprit board.
     online::OnlineEngine eng(trace::graph_view(topo), topo.peak_rates(), oopt);
-    const auto windows = online::replay_collector(col, eng);
-    print_follow_windows(windows, eng, catalog);
+    const auto windows = online::replay_collector(
+        col, eng, 64, true, follow_observer(want_metrics ? metrics_every : 0));
+    print_follow_summary(eng, catalog);
     std::cout << "\n";
     for (const online::WindowResult& w : windows)
       for (const core::Diagnosis& d : w.diagnoses) diagnoses.push_back(d);
@@ -333,5 +379,6 @@ int main(int argc, char** argv) {
   } else {
     eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
   }
+  dump_metrics();
   return 0;
 }

@@ -3,7 +3,12 @@
 namespace microscope::collector {
 
 Collector::Collector(CollectorOptions opts)
-    : opts_(opts), noise_state_(opts.noise_seed) {}
+    : opts_(opts),
+      noise_state_(opts.noise_seed),
+      rx_batches_(&obs::Registry::global().counter("collector.rx_batches")),
+      rx_packets_(&obs::Registry::global().counter("collector.rx_packets")),
+      tx_batches_(&obs::Registry::global().counter("collector.tx_batches")),
+      tx_packets_(&obs::Registry::global().counter("collector.tx_packets")) {}
 
 void Collector::register_node(NodeId id, bool full_flow) {
   if (id >= traces_.size()) {
@@ -37,6 +42,8 @@ TimeNs Collector::noisy(TimeNs ts) {
 }
 
 void Collector::on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) {
+  rx_batches_->add();
+  rx_packets_->add(batch.size());
   NodeTrace& t = mutable_node(id);
   BatchRecord rec;
   rec.ts = noisy(ts);
@@ -51,6 +58,8 @@ void Collector::on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) {
 
 void Collector::on_tx(NodeId id, NodeId peer, TimeNs ts,
                       std::span<const Packet> batch) {
+  tx_batches_->add();
+  tx_packets_->add(batch.size());
   NodeTrace& t = mutable_node(id);
   BatchRecord rec;
   rec.ts = noisy(ts);

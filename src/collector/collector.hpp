@@ -13,6 +13,7 @@
 
 #include "collector/records.hpp"
 #include "common/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace microscope::collector {
 
@@ -60,6 +61,13 @@ class Collector {
   std::vector<NodeTrace> traces_;
   std::vector<bool> registered_;
   std::uint64_t noise_state_;
+  // Registry-backed hook counters, resolved once at construction so the
+  // critical path is a single relaxed add per batch (a no-op under
+  // MICROSCOPE_NO_METRICS).
+  obs::Counter* rx_batches_;
+  obs::Counter* rx_packets_;
+  obs::Counter* tx_batches_;
+  obs::Counter* tx_packets_;
 };
 
 }  // namespace microscope::collector

@@ -40,6 +40,12 @@ RingCollector::RingCollector() : RingCollector(Options{}) {}
 RingCollector::RingCollector(Options opts)
     : store_(opts.store),
       ring_(opts.ring_bytes),
+      obs_records_(&obs::Registry::global().counter("collector.ring.records")),
+      obs_overruns_(
+          &obs::Registry::global().counter("collector.ring.overruns")),
+      obs_drained_bytes_(
+          &obs::Registry::global().counter("collector.ring.drained_bytes")),
+      obs_dump_ns_(&obs::Registry::global().histogram("collector.ring.dump_ns")),
       external_drain_(opts.external_drain),
       decoder_(store_) {
   if (!external_drain_) dumper_ = std::thread([this] { dumper_main(); });
@@ -62,8 +68,10 @@ void RingCollector::on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) {
   encode_batch(scratch_, Direction::kRx, id, kInvalidNode, ts, batch, false);
   if (ring_.push(scratch_)) {
     pushed_.fetch_add(1, std::memory_order_relaxed);
+    obs_records_->add();
   } else {
     overruns_.fetch_add(1, std::memory_order_relaxed);
+    obs_overruns_->add();
   }
 }
 
@@ -74,8 +82,10 @@ void RingCollector::on_tx(NodeId id, NodeId peer, TimeNs ts,
                id < full_flow_.size() && full_flow_[id]);
   if (ring_.push(scratch_)) {
     pushed_.fetch_add(1, std::memory_order_relaxed);
+    obs_records_->add();
   } else {
     overruns_.fetch_add(1, std::memory_order_relaxed);
+    obs_overruns_->add();
   }
 }
 
@@ -90,7 +100,9 @@ void RingCollector::flush() {
 std::size_t RingCollector::drain(std::span<std::byte> out) {
   if (!external_drain_)
     throw std::logic_error("RingCollector::drain needs external_drain mode");
-  return ring_.pop(out);
+  const std::size_t n = ring_.pop(out);
+  obs_drained_bytes_->add(n);
+  return n;
 }
 
 void RingCollector::dumper_main() {
@@ -98,7 +110,12 @@ void RingCollector::dumper_main() {
   while (true) {
     const std::size_t n = ring_.pop(chunk);
     if (n > 0) {
+      // Dump latency: wall time to decode one drained chunk into the
+      // offline store (the consumer-side half of the paper's dumper).
+      obs::ScopedTimer timer(*obs_dump_ns_);
       decoder_.feed(std::span<const std::byte>(chunk.data(), n));
+      timer.stop();
+      obs_drained_bytes_->add(n);
     } else if (stop_.load(std::memory_order_acquire)) {
       if (ring_.size() == 0) break;
     } else {

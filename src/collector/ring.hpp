@@ -15,6 +15,7 @@
 
 #include "collector/collector.hpp"
 #include "collector/wire.hpp"
+#include "obs/metrics.hpp"
 
 namespace microscope::collector {
 
@@ -98,6 +99,12 @@ class RingCollector {
   std::vector<std::byte> scratch_;
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> overruns_{0};
+  // Registry mirrors of the counters above (public accessors stay the
+  // authoritative per-instance view; the registry aggregates process-wide).
+  obs::Counter* obs_records_;
+  obs::Counter* obs_overruns_;
+  obs::Counter* obs_drained_bytes_;
+  obs::Histogram* obs_dump_ns_;
   std::atomic<bool> stop_{false};
   bool external_drain_{false};
   WireDecoder decoder_;

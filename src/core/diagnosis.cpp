@@ -1,15 +1,64 @@
 #include "core/diagnosis.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "obs/metrics.hpp"
 
 namespace microscope::core {
 
 using trace::Journey;
 using trace::kNoJourney;
 using trace::NodeTimeline;
+
+namespace {
+
+/// Registry handles resolved once per process; diagnose() runs per victim
+/// (possibly on pool threads), so lookups must not take the registry lock.
+struct DiagnoseMetrics {
+  obs::Counter& victims;
+  obs::Counter& no_period;
+  obs::Counter& relations;
+  obs::Histogram& ns;
+  obs::Histogram& depth;
+  obs::Histogram& relation_score;
+
+  static DiagnoseMetrics& get() {
+    static DiagnoseMetrics m{
+        obs::Registry::global().counter("core.diagnose.victims"),
+        obs::Registry::global().counter("core.diagnose.no_period"),
+        obs::Registry::global().counter("core.diagnose.relations"),
+        obs::Registry::global().histogram("core.diagnose.ns"),
+        obs::Registry::global().histogram("core.diagnose.depth",
+                                          obs::depth_bounds()),
+        obs::Registry::global().histogram("core.diagnose.relation_score",
+                                          obs::score_bounds())};
+    return m;
+  }
+};
+
+/// Propagation depth and culprit-score distribution of one finished
+/// diagnosis (skipped entirely under MICROSCOPE_NO_METRICS).
+void record_diagnosis(const Diagnosis& d, DiagnoseMetrics& m) {
+  if constexpr (!obs::kMetricsEnabled) {
+    (void)d;
+    (void)m;
+    return;
+  }
+  m.relations.add(d.relations.size());
+  if (d.relations.empty()) return;
+  int max_depth = 0;
+  for (const CausalRelation& rel : d.relations) {
+    max_depth = std::max(max_depth, rel.depth);
+    m.relation_score.record(std::llround(rel.score));
+  }
+  m.depth.record(max_depth);
+}
+
+}  // namespace
 
 Diagnoser::Diagnoser(const trace::ReconstructedTrace& rt,
                      std::vector<RatePerNs> peak_rates, DiagnoserOptions opts)
@@ -32,17 +81,27 @@ std::vector<Diagnosis> Diagnoser::diagnose_all(
 }
 
 Diagnosis Diagnoser::diagnose(const Victim& v) const {
+  DiagnoseMetrics& m = DiagnoseMetrics::get();
+  obs::ScopedTimer timer(m.ns);
+  m.victims.add();
   Diagnosis d;
   d.victim = v;
   const NodeId f = v.node;
-  if (!rt_->has_timeline(f)) return d;
+  if (!rt_->has_timeline(f)) {
+    m.no_period.add();
+    return d;
+  }
   const auto period = find_queuing_period(rt_->timeline(f), v.time, opts_.period);
-  if (!period) return d;
+  if (!period) {
+    m.no_period.add();
+    return d;
+  }
 
   const LocalScores ls = local_scores(rt_->timeline(f), *period, peak_rates_[f]);
   if (ls.s_p > opts_.min_score) emit_local(f, *period, ls.s_p, 0, d);
   if (ls.s_i > opts_.min_score)
     propagate(f, *period, ls.s_i, 0, v.journey, d);
+  record_diagnosis(d, m);
   return d;
 }
 

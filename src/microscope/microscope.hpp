@@ -4,6 +4,7 @@
 //
 // Layers (bottom-up):
 //   common/     time, flows, packets, RNG, stats
+//   obs/        self-observability: metrics registry + exporters
 //   sim/        discrete-event simulator
 //   nf/         NFV dataplane: queues, NAT/Firewall/Monitor/VPN, traffic,
 //               topologies, fault injection, calibration
@@ -22,6 +23,8 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/time.hpp"
+
+#include "obs/metrics.hpp"
 
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"

@@ -4,7 +4,49 @@
 #include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace microscope::online {
+
+namespace {
+
+/// Registry handles for the streaming stage, resolved once per process.
+/// OnlineStats stays the per-engine authoritative accessor; these mirror
+/// the same events into the process-wide registry.
+struct OnlineMetrics {
+  obs::Counter& batches_ingested;
+  obs::Counter& packets_ingested;
+  obs::Counter& late_dropped;
+  obs::Counter& backpressure_dropped;
+  obs::Counter& windows_closed;
+  obs::Counter& windows_idle_forced;
+  obs::Counter& windows_skipped_empty;
+  obs::Histogram& window_close_ns;
+  obs::Gauge& watermark_lag_ns;
+  obs::Gauge& ring_dropped_records;
+  obs::Gauge& retained_batches;
+  obs::Gauge& retained_bytes;
+
+  static OnlineMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static OnlineMetrics m{
+        r.counter("online.batches_ingested"),
+        r.counter("online.packets_ingested"),
+        r.counter("online.late_dropped_batches"),
+        r.counter("online.backpressure_dropped_batches"),
+        r.counter("online.windows_closed"),
+        r.counter("online.windows_idle_forced"),
+        r.counter("online.windows_skipped_empty"),
+        r.histogram("online.window_close_ns"),
+        r.gauge("online.watermark_lag_ns"),
+        r.gauge("online.ring_dropped_records"),
+        r.gauge("online.retained_batches"),
+        r.gauge("online.retained_bytes")};
+    return m;
+  }
+};
+
+}  // namespace
 
 core::DiagnoserOptions streaming_diagnoser_defaults() {
   core::DiagnoserOptions opts;
@@ -73,6 +115,8 @@ std::size_t OnlineEngine::drain_ring(collector::RingCollector& ring,
     total += got;
   }
   stats_.ring_dropped_records = ring.dropped_records();
+  OnlineMetrics::get().ring_dropped_records.set(
+      static_cast<double>(stats_.ring_dropped_records));
   return total;
 }
 
@@ -81,15 +125,18 @@ void OnlineEngine::ingest(collector::Direction dir, NodeId node, NodeId peer,
   // The watermark advances even for records we end up dropping: the node's
   // stream demonstrably reached `ts`, and stalling the watermark would
   // wedge every later window behind a drop.
+  OnlineMetrics& m = OnlineMetrics::get();
   wm_.note(node, ts);
   if (wm_.closed_end() != WindowManager::kWatermarkNone &&
       ts < wm_.closed_end()) {
     ++stats_.late_dropped_batches;
+    m.late_dropped.add();
     return;
   }
   if (opts_.max_retained_batches > 0 &&
       store_.retained_batches() >= opts_.max_retained_batches) {
     ++stats_.backpressure_dropped_batches;
+    m.backpressure_dropped.add();
     return;
   }
   StreamBatch b;
@@ -100,6 +147,8 @@ void OnlineEngine::ingest(collector::Direction dir, NodeId node, NodeId peer,
   store_.add(node, std::move(b));
   ++stats_.batches_ingested;
   stats_.packets_ingested += pkts.size();
+  m.batches_ingested.add();
+  m.packets_ingested.add(pkts.size());
 }
 
 std::vector<WindowResult> OnlineEngine::poll() { return close_ready(false); }
@@ -107,13 +156,27 @@ std::vector<WindowResult> OnlineEngine::poll() { return close_ready(false); }
 std::vector<WindowResult> OnlineEngine::finish() { return close_ready(true); }
 
 std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
+  OnlineMetrics& m = OnlineMetrics::get();
+  // Watermark lag: how far the slowest node's stream trails the fastest —
+  // the live signal that some NF's records are wedging window closure.
+  if (wm_.global_watermark() != WindowManager::kWatermarkNone &&
+      wm_.min_watermark() != WindowManager::kWatermarkNone) {
+    m.watermark_lag_ns.set(
+        static_cast<double>(wm_.global_watermark() - wm_.min_watermark()));
+  }
   std::vector<WindowResult> out;
   WindowBounds b;
   while (wm_.next_closable(b, finishing)) {
+    obs::ScopedTimer close_timer(m.window_close_ns);
     WindowResult res = diagnose_window(b);
     agg_.ingest(res.diagnoses);
+    close_timer.stop();
     ++stats_.windows_closed;
-    if (b.idle_forced) ++stats_.windows_idle_forced;
+    m.windows_closed.add();
+    if (b.idle_forced) {
+      ++stats_.windows_idle_forced;
+      m.windows_idle_forced.add();
+    }
     wm_.advance();
     // Everything older than what the *next* window can reach is dead. The
     // extra slack_ns covers the tx-side alignment warm-up margin that the
@@ -121,6 +184,8 @@ std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
     store_.evict_before(b.end - history_ns_ - opts_.slack_ns);
     out.push_back(std::move(res));
   }
+  m.retained_batches.set(static_cast<double>(store_.retained_batches()));
+  m.retained_bytes.set(static_cast<double>(store_.retained_bytes()));
   return out;
 }
 
@@ -135,6 +200,7 @@ WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
   const TimeNs hi = b.end + wm_.slack_ns();
   if (store_.empty_in(lo, hi)) {
     ++stats_.windows_skipped_empty;
+    OnlineMetrics::get().windows_skipped_empty.add();
     return res;
   }
 

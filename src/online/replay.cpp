@@ -12,7 +12,8 @@ namespace microscope::online {
 std::vector<WindowResult> replay_collector(const collector::Collector& col,
                                            OnlineEngine& engine,
                                            std::size_t poll_every,
-                                           bool finish) {
+                                           bool finish,
+                                           const WindowCallback& on_window) {
   using collector::BatchRecord;
   using collector::Direction;
   using collector::NodeTrace;
@@ -78,12 +79,21 @@ std::vector<WindowResult> replay_collector(const collector::Collector& col,
 
     if (poll_every > 0 && ++since_poll >= poll_every) {
       since_poll = 0;
-      for (WindowResult& w : engine.poll()) windows.push_back(std::move(w));
+      for (WindowResult& w : engine.poll()) {
+        if (on_window) on_window(w);
+        windows.push_back(std::move(w));
+      }
     }
   }
-  for (WindowResult& w : engine.poll()) windows.push_back(std::move(w));
+  for (WindowResult& w : engine.poll()) {
+    if (on_window) on_window(w);
+    windows.push_back(std::move(w));
+  }
   if (finish)
-    for (WindowResult& w : engine.finish()) windows.push_back(std::move(w));
+    for (WindowResult& w : engine.finish()) {
+      if (on_window) on_window(w);
+      windows.push_back(std::move(w));
+    }
   return windows;
 }
 
@@ -144,11 +154,18 @@ std::size_t TraceFileTailer::pump(std::size_t max_bytes) {
   return got;
 }
 
-std::vector<WindowResult> TraceFileTailer::drain_to_end(std::size_t chunk) {
+std::vector<WindowResult> TraceFileTailer::drain_to_end(
+    std::size_t chunk, const WindowCallback& on_window) {
   std::vector<WindowResult> windows;
   while (pump(chunk) > 0)
-    for (WindowResult& w : engine_->poll()) windows.push_back(std::move(w));
-  for (WindowResult& w : engine_->finish()) windows.push_back(std::move(w));
+    for (WindowResult& w : engine_->poll()) {
+      if (on_window) on_window(w);
+      windows.push_back(std::move(w));
+    }
+  for (WindowResult& w : engine_->finish()) {
+    if (on_window) on_window(w);
+    windows.push_back(std::move(w));
+  }
   return windows;
 }
 

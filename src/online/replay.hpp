@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,11 @@
 #include "online/engine.hpp"
 
 namespace microscope::online {
+
+/// Observer invoked as each window closes during a replay/tail drive (live
+/// progress, periodic metrics dumps); the window is still returned in the
+/// final vector.
+using WindowCallback = std::function<void(const WindowResult&)>;
 
 /// Replay every record of `col` into `engine` in global timestamp order
 /// (per-node record order preserved; ties broken by node id, rx first —
@@ -27,7 +33,8 @@ namespace microscope::online {
 std::vector<WindowResult> replay_collector(const collector::Collector& col,
                                            OnlineEngine& engine,
                                            std::size_t poll_every = 64,
-                                           bool finish = true);
+                                           bool finish = true,
+                                           const WindowCallback& on_window = {});
 
 /// Incremental reader for save_trace_stream files feeding an OnlineEngine.
 /// Parses the header (registering the node table on the engine), then
@@ -42,7 +49,8 @@ class TraceFileTailer {
 
   /// Pump until EOF, polling the engine after every chunk; then finish().
   /// Convenience for files that are already complete.
-  std::vector<WindowResult> drain_to_end(std::size_t chunk = 1 << 12);
+  std::vector<WindowResult> drain_to_end(std::size_t chunk = 1 << 12,
+                                         const WindowCallback& on_window = {});
 
   bool header_parsed() const { return header_done_; }
 

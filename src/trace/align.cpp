@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace microscope::trace {
 namespace {
 
@@ -266,31 +268,52 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
 
   // Pass barriers: pass 1 reads pass 0's tx_batch_of maps of upstream
   // nodes; pass 2 only touches out[d] but keeps the barrier for clarity.
+  obs::Registry& reg = obs::Registry::global();
   const std::size_t grain = chunk_grain(par, n);
-  parallel_for_over(pool, n,
-                    [&](std::size_t b, std::size_t e) {
-                      for (std::size_t id = b; id < e; ++id)
-                        pass0(static_cast<NodeId>(id));
-                    },
-                    grain);
-  parallel_for_over(pool, n,
-                    [&](std::size_t b, std::size_t e) {
-                      for (std::size_t id = b; id < e; ++id)
-                        pass1(static_cast<NodeId>(id), node_stats[id]);
-                    },
-                    grain);
-  parallel_for_over(pool, n,
-                    [&](std::size_t b, std::size_t e) {
-                      for (std::size_t id = b; id < e; ++id)
-                        pass2(static_cast<NodeId>(id), node_stats[id]);
-                    },
-                    grain);
-
-  if (stats) {
-    AlignStats total;
-    for (const AlignStats& s : node_stats) total += s;
-    *stats = total;
+  {
+    obs::ScopedTimer t(reg.histogram("trace.align.prepare_ns"));
+    parallel_for_over(pool, n,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t id = b; id < e; ++id)
+                          pass0(static_cast<NodeId>(id));
+                      },
+                      grain);
   }
+  {
+    obs::ScopedTimer t(reg.histogram("trace.align.link_pass_ns"));
+    parallel_for_over(pool, n,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t id = b; id < e; ++id)
+                          pass1(static_cast<NodeId>(id), node_stats[id]);
+                      },
+                      grain);
+  }
+  {
+    obs::ScopedTimer t(reg.histogram("trace.align.internal_pass_ns"));
+    parallel_for_over(pool, n,
+                      [&](std::size_t b, std::size_t e) {
+                        for (std::size_t id = b; id < e; ++id)
+                          pass2(static_cast<NodeId>(id), node_stats[id]);
+                      },
+                      grain);
+  }
+
+  AlignStats total;
+  for (const AlignStats& s : node_stats) total += s;
+  // Registry mirror of AlignStats: link_ambiguous doubles as the
+  // IPID-collision resolution count (matches that needed the order/time
+  // side channels to disambiguate).
+  reg.counter("trace.align.link_matched").add(total.link_matched);
+  reg.counter("trace.align.link_ambiguous").add(total.link_ambiguous);
+  reg.counter("trace.align.link_unmatched").add(total.link_unmatched);
+  reg.counter("trace.align.queue_drops_inferred")
+      .add(total.queue_drops_inferred);
+  reg.counter("trace.align.internal_matched").add(total.internal_matched);
+  reg.counter("trace.align.internal_ambiguous").add(total.internal_ambiguous);
+  reg.counter("trace.align.internal_expired").add(total.internal_expired);
+  reg.counter("trace.align.policy_drops_inferred")
+      .add(total.policy_drops_inferred);
+  if (stats) *stats = total;
   return out;
 }
 

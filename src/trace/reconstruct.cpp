@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace microscope::trace {
 
 std::uint64_t NodeTimeline::arrivals_in(TimeNs t0, TimeNs t1) const {
@@ -81,6 +83,9 @@ struct WalkSeed {
 ReconstructedTrace reconstruct(const collector::Collector& col,
                                const GraphView& graph,
                                const ReconstructOptions& opts) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("trace.reconstruct.runs").add();
+  obs::ScopedTimer total_timer(reg.histogram("trace.reconstruct.total_ns"));
   ReconstructedTrace rt(graph, opts);
   const auto pool = ThreadPool::make(opts.parallel);
   rt.alignments_ = align_all(col, graph, opts.align, &rt.align_stats_,
@@ -192,6 +197,8 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
     seeds.clear();
   };
 
+  obs::ScopedTimer walk_timer(reg.histogram("trace.reconstruct.walk_ns"));
+
   // --- Terminal 1: delivered packets (edge tx entries toward the sink) ---
   // Seed enumeration depends only on the collector records and alignments,
   // so journey ids come out in the exact sequential order.
@@ -264,8 +271,11 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
     }
   }
   run_walks(jid_t3);
+  walk_timer.stop();
 
   // --- Per-NF timelines ---
+  obs::ScopedTimer timeline_timer(
+      reg.histogram("trace.reconstruct.timeline_ns"));
   rt.timelines_.resize(n);
   // Inverse of rx_origin: which rx entry consumed each upstream tx entry.
   std::vector<std::vector<std::uint32_t>> consumed(n);
@@ -340,6 +350,15 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
         }
       },
       chunk_grain(opts.parallel, n));
+  timeline_timer.stop();
+
+  reg.counter("trace.reconstruct.journeys").add(rt.journeys_.size());
+  if constexpr (obs::kMetricsEnabled) {
+    std::uint64_t truncated = 0;
+    for (const Journey& j : rt.journeys_)
+      if (j.fate == Fate::kTruncated) ++truncated;
+    reg.counter("trace.reconstruct.truncated_journeys").add(truncated);
+  }
 
   return rt;
 }
