@@ -22,6 +22,10 @@
 //                                     one offline pass
 //     --follow-file <path>            tail an existing stream trace (skips
 //                                     the simulation entirely)
+//     --strict-decode                 in --follow-file mode, fail fast with
+//                                     a typed error on the first corrupt
+//                                     record instead of counting + resyncing
+//                                     (exit code 3)
 //     --window <ms>                   online window size (default 10)
 //     --patterns                      also run pattern aggregation
 //     --json                          emit the report as JSON
@@ -124,6 +128,20 @@ void print_follow_summary(const online::OnlineEngine& eng,
             << " windows closed, " << st.late_dropped_batches
             << " late-dropped, " << st.ring_dropped_records
             << " ring-dropped\n";
+  if (st.wire_decode_dropped > 0) {
+    const collector::DecodeStats& ds = eng.decode_stats();
+    std::cout << "decode faults: " << st.wire_decode_dropped
+              << " records dropped (";
+    bool first = true;
+    for (std::uint8_t k = 0; k < 8; ++k) {
+      const auto kind = static_cast<collector::DecodeErrorKind>(k);
+      if (ds.count(kind) == 0) continue;
+      if (!first) std::cout << ", ";
+      std::cout << collector::to_string(kind) << " " << ds.count(kind);
+      first = false;
+    }
+    std::cout << "), " << ds.resync_bytes_skipped << " bytes resync-skipped\n";
+  }
   const auto top = eng.aggregator().top();
   if (!top.empty()) {
     std::cout << "live culprits (decayed):\n";
@@ -147,6 +165,7 @@ int main(int argc, char** argv) {
   std::string save_stream_path;
   std::string follow_file;
   bool follow = false;
+  bool strict_decode = false;
   DurationNs window = 10_ms;
   bool want_patterns = false;
   bool want_json = false;
@@ -184,6 +203,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--follow-file") {
       follow_file = next();
       follow = true;
+    } else if (arg == "--strict-decode") {
+      strict_decode = true;
     } else if (arg == "--window") {
       window = static_cast<DurationNs>(std::atof(next().c_str()) * 1e6);
     } else if (arg == "--patterns") {
@@ -238,6 +259,11 @@ int main(int argc, char** argv) {
   oopt.slack_ns = 5_ms;
   oopt.latency_threshold = threshold;
   oopt.reconstruct.prop_delay = topo.options().prop_delay;
+  // A tailed file crossed a process/disk boundary: validate timestamps and
+  // honor --strict-decode. (In-process replay never sets a wire decoder up.)
+  oopt.decode.policy = strict_decode ? collector::DecodePolicy::kStrict
+                                     : collector::DecodePolicy::kLenient;
+  oopt.decode.max_ts_regression_ns = 10_ms;
 
   // Registered up front so --metrics exports enumerate every pipeline
   // stage, zero-valued where this invocation never ran one.
@@ -255,8 +281,16 @@ int main(int argc, char** argv) {
     const auto catalog = eval::make_catalog(topo);
     online::OnlineEngine eng(trace::graph_view(topo), topo.peak_rates(), oopt);
     online::TraceFileTailer tailer(follow_file, eng);
-    const auto windows = tailer.drain_to_end(
-        1 << 12, follow_observer(want_metrics ? metrics_every : 0));
+    std::vector<online::WindowResult> windows;
+    try {
+      windows = tailer.drain_to_end(
+          1 << 12, follow_observer(want_metrics ? metrics_every : 0));
+    } catch (const collector::DecodeError& e) {
+      std::cerr << "error: " << follow_file << ": " << e.what()
+                << "\nhint: rerun without --strict-decode to salvage the "
+                   "readable records\n";
+      return 3;
+    }
     print_follow_summary(eng, catalog);
     std::vector<core::Diagnosis> diagnoses;
     for (const online::WindowResult& w : windows)

@@ -20,6 +20,11 @@ void Collector::register_node(NodeId id, bool full_flow) {
   traces_[id].full_flow = full_flow;
 }
 
+// An unknown id here is API misuse by in-process callers: every wire-facing
+// path (WireDecoder, the online engine's ingest decoder) validates node ids
+// against the registration table *before* calling on_rx/on_tx, so corrupted
+// input is counted as a kUnknownNode decode fault (or raised as a typed
+// DecodeError under strict policy) and never escapes as std::out_of_range.
 const NodeTrace& Collector::node(NodeId id) const {
   if (!has_node(id)) throw std::out_of_range("collector: unknown node");
   return traces_[id];

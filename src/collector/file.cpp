@@ -23,24 +23,62 @@ T get(std::ifstream& is) {
   return v;
 }
 
-}  // namespace
-
-void save_trace(const Collector& col, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("cannot open for writing: " + path);
-
-  put(os, kTraceFileMagic);
-  put(os, kTraceFileVersion);
-
-  // Node table.
+std::vector<NodeId> registered_nodes(const Collector& col) {
   std::vector<NodeId> nodes;
   for (NodeId id = 0; id < col.node_count(); ++id)
     if (col.has_node(id)) nodes.push_back(id);
+  return nodes;
+}
+
+void write_header(std::ofstream& os, const Collector& col,
+                  const std::vector<NodeId>& nodes, std::uint16_t version) {
+  if (version != kTraceFileV1 && version != kTraceFileV2)
+    throw std::invalid_argument("unknown trace file version " +
+                                std::to_string(version));
+  put(os, kTraceFileMagic);
+  put(os, version);
   put(os, static_cast<std::uint32_t>(nodes.size()));
   for (const NodeId id : nodes) {
     put(os, id);
     put(os, static_cast<std::uint8_t>(col.node(id).full_flow ? 1 : 0));
   }
+}
+
+void write_record(std::ofstream& os, std::vector<std::byte>& buf,
+                  std::uint16_t version, Direction dir, NodeId node,
+                  NodeId peer, TimeNs ts, std::span<const Packet> pkts,
+                  bool full_flow) {
+  buf.clear();
+  if (version == kTraceFileV1) {
+    encode_batch(buf, dir, node, peer, ts, pkts, full_flow);
+  } else {
+    encode_frame(buf, dir, node, peer, ts, pkts, full_flow);
+  }
+  os.write(reinterpret_cast<const char*>(buf.data()),
+           static_cast<std::streamsize>(buf.size()));
+}
+
+/// Decode options for trace files: validate everything. The timestamp
+/// tolerance is generous — collector clock noise perturbs stamps by
+/// microseconds, while a corrupted i64 lands eons away.
+DecodeOptions file_decode_options(DecodePolicy policy, std::uint16_t version) {
+  DecodeOptions opts;
+  opts.policy = policy;
+  opts.framing =
+      version == kTraceFileV1 ? WireFraming::kRaw : WireFraming::kFramed;
+  opts.max_ts_regression_ns = 10_ms;
+  return opts;
+}
+
+}  // namespace
+
+void save_trace(const Collector& col, const std::string& path,
+                std::uint16_t version) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("cannot open for writing: " + path);
+
+  const std::vector<NodeId> nodes = registered_nodes(col);
+  write_header(os, col, nodes, version);
 
   // Records, re-encoded through the wire format.
   std::vector<std::byte> buf;
@@ -50,10 +88,8 @@ void save_trace(const Collector& col, const std::string& path) {
       std::vector<Packet> pkts(rec.count);
       for (std::uint16_t i = 0; i < rec.count; ++i)
         pkts[i].ipid = t.rx_ipids[rec.begin + i];
-      buf.clear();
-      encode_batch(buf, Direction::kRx, id, kInvalidNode, rec.ts, pkts, false);
-      os.write(reinterpret_cast<const char*>(buf.data()),
-               static_cast<std::streamsize>(buf.size()));
+      write_record(os, buf, version, Direction::kRx, id, kInvalidNode, rec.ts,
+                   pkts, false);
     }
     for (const BatchRecord& rec : t.tx_batches) {
       std::vector<Packet> pkts(rec.count);
@@ -61,31 +97,20 @@ void save_trace(const Collector& col, const std::string& path) {
         pkts[i].ipid = t.tx_ipids[rec.begin + i];
         if (t.full_flow) pkts[i].flow = t.tx_flows[rec.begin + i];
       }
-      buf.clear();
-      encode_batch(buf, Direction::kTx, id, rec.peer, rec.ts, pkts,
-                   t.full_flow);
-      os.write(reinterpret_cast<const char*>(buf.data()),
-               static_cast<std::streamsize>(buf.size()));
+      write_record(os, buf, version, Direction::kTx, id, rec.peer, rec.ts,
+                   pkts, t.full_flow);
     }
   }
   if (!os) throw std::runtime_error("write failed: " + path);
 }
 
-void save_trace_stream(const Collector& col, const std::string& path) {
+void save_trace_stream(const Collector& col, const std::string& path,
+                       std::uint16_t version) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("cannot open for writing: " + path);
 
-  put(os, kTraceFileMagic);
-  put(os, kTraceFileVersion);
-
-  std::vector<NodeId> nodes;
-  for (NodeId id = 0; id < col.node_count(); ++id)
-    if (col.has_node(id)) nodes.push_back(id);
-  put(os, static_cast<std::uint32_t>(nodes.size()));
-  for (const NodeId id : nodes) {
-    put(os, id);
-    put(os, static_cast<std::uint8_t>(col.node(id).full_flow ? 1 : 0));
-  }
+  const std::vector<NodeId> nodes = registered_nodes(col);
+  write_header(os, col, nodes, version);
 
   // One cursor per (node, direction) stream; per-node record order must
   // survive the interleave, so the merge always advances the stream whose
@@ -137,37 +162,35 @@ void save_trace_stream(const Collector& col, const std::string& path) {
         if (t.full_flow) pkts[i].flow = t.tx_flows[rec.begin + i];
       }
     }
-    buf.clear();
-    encode_batch(buf, best->dir, best->node,
+    write_record(os, buf, version, best->dir, best->node,
                  best->dir == Direction::kTx ? rec.peer : kInvalidNode, rec.ts,
                  pkts, best->dir == Direction::kTx && t.full_flow);
-    os.write(reinterpret_cast<const char*>(buf.data()),
-             static_cast<std::streamsize>(buf.size()));
   }
   if (!os) throw std::runtime_error("write failed: " + path);
 }
 
-Collector load_trace(const std::string& path) {
+TraceLoadResult load_trace_ex(const std::string& path, DecodePolicy policy) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("cannot open for reading: " + path);
 
   if (get<std::uint32_t>(is) != kTraceFileMagic)
     throw std::runtime_error("not a microscope trace file: " + path);
-  if (get<std::uint16_t>(is) != kTraceFileVersion)
+  const auto version = get<std::uint16_t>(is);
+  if (version != kTraceFileV1 && version != kTraceFileV2)
     throw std::runtime_error("unsupported trace file version: " + path);
 
-  CollectorOptions opts;
-  opts.ground_truth = false;
-  Collector col(opts);
+  CollectorOptions copts;
+  copts.ground_truth = false;
+  TraceLoadResult result{Collector(copts), DecodeStats{}, version};
 
   const auto n = get<std::uint32_t>(is);
   for (std::uint32_t i = 0; i < n; ++i) {
     const auto id = get<NodeId>(is);
     const auto full = get<std::uint8_t>(is);
-    col.register_node(id, full != 0);
+    result.col.register_node(id, full != 0);
   }
 
-  WireDecoder dec(col);
+  WireDecoder dec(result.col, file_decode_options(policy, version));
   std::vector<std::byte> chunk(1 << 16);
   while (is) {
     is.read(reinterpret_cast<char*>(chunk.data()),
@@ -176,9 +199,17 @@ Collector load_trace(const std::string& path) {
     if (got == 0) break;
     dec.feed(std::span<const std::byte>(chunk.data(), got));
   }
-  if (!dec.drained())
-    throw std::runtime_error("trailing partial record in: " + path);
-  return col;
+  dec.finish();
+  result.decode = dec.stats();
+  return result;
+}
+
+Collector load_trace(const std::string& path) {
+  return std::move(load_trace_ex(path, DecodePolicy::kStrict).col);
+}
+
+TraceLoadResult salvage_trace(const std::string& path) {
+  return load_trace_ex(path, DecodePolicy::kLenient);
 }
 
 }  // namespace microscope::collector

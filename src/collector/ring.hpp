@@ -87,6 +87,13 @@ class RingCollector {
   /// std::logic_error when a dumper thread owns the ring.
   std::size_t drain(std::span<std::byte> out);
 
+  /// Dumper-side decode fault accounting. The in-process ring is a trusted
+  /// byte stream (push is all-or-nothing, so overruns never tear records),
+  /// but the validating decoder still runs lenient underneath — a non-zero
+  /// category here means producer-side memory corruption, which should be
+  /// surfaced, not crashed on.
+  const DecodeStats& decode_stats() const { return decoder_.stats(); }
+
   /// The offline store (flush() first for a consistent view).
   const Collector& store() const { return store_; }
 

@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli) over byte ranges.
+//
+// Integrity check for the v2 framed trace format (collector/wire.hpp): each
+// record frame carries a CRC32C of its payload so a torn write, a flipped
+// bit, or a mid-record truncation is detected at the frame where it
+// happened instead of silently desynchronizing the decode. Software
+// slice-by-one table implementation — portable, no hardware dependency, and
+// fast enough for the dumper path (the payload per record is tens of bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace microscope {
+
+/// CRC32C of `len` bytes at `data`. `seed` chains partial computations:
+/// crc32c(b, n) == crc32c(b + k, n - k, crc32c(b, k)).
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace microscope

@@ -188,6 +188,17 @@ void register_pipeline_metrics(Registry& reg) {
   reg.counter("collector.ring.overruns");
   reg.counter("collector.ring.drained_bytes");
   reg.histogram("collector.ring.dump_ns");
+  // Wire decode validation (one per DecodeErrorKind, plus throughput).
+  reg.counter("collector.decode.records");
+  reg.counter("collector.decode.bad_sync");
+  reg.counter("collector.decode.bad_length");
+  reg.counter("collector.decode.bad_crc");
+  reg.counter("collector.decode.bad_kind");
+  reg.counter("collector.decode.unknown_node");
+  reg.counter("collector.decode.oversized_batch");
+  reg.counter("collector.decode.timestamp_regression");
+  reg.counter("collector.decode.truncated_tail");
+  reg.counter("collector.decode.resync_bytes");
   // Stage 2: record alignment.
   reg.histogram("trace.align.prepare_ns");
   reg.histogram("trace.align.link_pass_ns");

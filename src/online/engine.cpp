@@ -83,7 +83,9 @@ OnlineEngine::OnlineEngine(trace::GraphView graph,
           [this](NodeId n) { return store_.has_node(n) && store_.full_flow(n); },
           [this](const collector::DecodedBatch& b) {
             ingest(b.dir, b.node, b.peer, b.ts, b.pkts);
-          }) {}
+          },
+          opts.decode,
+          [this](NodeId n) { return store_.has_node(n); }) {}
 
 void OnlineEngine::register_node(NodeId id, bool full_flow) {
   store_.register_node(id, full_flow);
@@ -101,6 +103,10 @@ void OnlineEngine::on_tx(NodeId id, NodeId peer, TimeNs ts,
 
 void OnlineEngine::feed_bytes(std::span<const std::byte> bytes) {
   decoder_.feed(bytes);
+}
+
+void OnlineEngine::set_wire_framing(collector::WireFraming framing) {
+  decoder_.set_framing(framing);
 }
 
 std::size_t OnlineEngine::drain_ring(collector::RingCollector& ring,
@@ -153,7 +159,12 @@ void OnlineEngine::ingest(collector::Direction dir, NodeId node, NodeId peer,
 
 std::vector<WindowResult> OnlineEngine::poll() { return close_ready(false); }
 
-std::vector<WindowResult> OnlineEngine::finish() { return close_ready(true); }
+std::vector<WindowResult> OnlineEngine::finish() {
+  // A partial record buffered in the decoder can never complete now; fault
+  // it (truncated_tail, or a strict throw) before the final window sweep.
+  decoder_.finish();
+  return close_ready(true);
+}
 
 std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
   OnlineMetrics& m = OnlineMetrics::get();
@@ -230,6 +241,7 @@ WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
 
 OnlineStats OnlineEngine::stats() const {
   OnlineStats s = stats_;
+  s.wire_decode_dropped = decoder_.stats().dropped();
   s.retained_batches = store_.retained_batches();
   s.retained_bytes = store_.retained_bytes();
   s.retained_span_ns = store_.retained_span();

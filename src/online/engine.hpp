@@ -75,6 +75,12 @@ struct OnlineOptions {
   core::DiagnoserOptions diagnoser = streaming_diagnoser_defaults();
   trace::ReconstructOptions reconstruct{};
   StreamingAggregatorOptions aggregator{};
+  /// Wire decode validation for feed_bytes/drain_ring ingestion. Defaults
+  /// to lenient raw decode with the timestamp check off (the ring is a
+  /// trusted in-process stream); tailing a file from another process is
+  /// where kStrict or a timestamp tolerance earns its keep. The framing is
+  /// switched per-source via set_wire_framing (a v2 trace header does it).
+  collector::DecodeOptions decode{};
 };
 
 struct OnlineStats {
@@ -87,6 +93,9 @@ struct OnlineStats {
   std::uint64_t backpressure_dropped_batches{0};
   /// Producer-side ring overruns observed via RingCollector::dropped_records.
   std::uint64_t ring_dropped_records{0};
+  /// Records rejected by wire decode validation (sum over the per-category
+  /// counters in decode_stats()); only byte-fed ingestion can raise it.
+  std::uint64_t wire_decode_dropped{0};
   std::uint64_t windows_closed{0};
   std::uint64_t windows_idle_forced{0};
   /// Closed windows whose slice held no records (no diagnosis run).
@@ -122,8 +131,20 @@ class OnlineEngine {
   void on_tx(NodeId id, NodeId peer, TimeNs ts, std::span<const Packet> batch);
 
   /// Feed raw wire-format bytes (chunk boundaries arbitrary; partial
-  /// records are buffered).
+  /// records are buffered). Bytes are validated per OnlineOptions::decode:
+  /// lenient faults are counted (decode_stats()) and resynced past; strict
+  /// faults throw collector::DecodeError.
   void feed_bytes(std::span<const std::byte> bytes);
+
+  /// Select the wire framing for subsequent feed_bytes data (a v2 trace
+  /// file header switches to kFramed). Only legal while no partial record
+  /// is buffered (throws std::logic_error otherwise).
+  void set_wire_framing(collector::WireFraming framing);
+
+  /// Fault accounting of the byte-fed ingestion path.
+  const collector::DecodeStats& decode_stats() const {
+    return decoder_.stats();
+  }
 
   /// Drain up to `max_bytes` from an external-drain RingCollector and
   /// ingest them; also snapshots the ring's producer-side drop counter
@@ -136,8 +157,9 @@ class OnlineEngine {
   /// timeout) allows it. Cheap when nothing is closable.
   std::vector<WindowResult> poll();
 
-  /// End of stream: close every remaining window that could contain a
-  /// victim, regardless of watermarks.
+  /// End of stream: finalizes the wire decoder (a buffered partial record
+  /// becomes a truncated_tail fault), then closes every remaining window
+  /// that could contain a victim, regardless of watermarks.
   std::vector<WindowResult> finish();
 
   /// Stats snapshot (retained_* recomputed at call time).

@@ -115,7 +115,7 @@ void TraceFileTailer::try_parse_header() {
   std::memcpy(&count, header_buf_.data() + 6, 4);
   if (magic != collector::kTraceFileMagic)
     throw std::runtime_error("not a microscope trace file: " + path_);
-  if (version != collector::kTraceFileVersion)
+  if (version != collector::kTraceFileV1 && version != collector::kTraceFileV2)
     throw std::runtime_error("unsupported trace file version: " + path_);
   const std::size_t need = kFixed + std::size_t{count} * (4 + 1);
   if (header_buf_.size() < need) return;
@@ -129,6 +129,11 @@ void TraceFileTailer::try_parse_header() {
     off += 5;
     engine_->register_node(node, full != 0);
   }
+  // Must happen before any record byte reaches the engine: v2 records are
+  // framed, and the decoder's framing can only be switched while drained.
+  engine_->set_wire_framing(version == collector::kTraceFileV2
+                                ? collector::WireFraming::kFramed
+                                : collector::WireFraming::kRaw);
   header_done_ = true;
   if (header_buf_.size() > need)
     engine_->feed_bytes(std::span<const std::byte>(header_buf_.data() + need,

@@ -37,8 +37,11 @@ std::vector<WindowResult> replay_collector(const collector::Collector& col,
                                            const WindowCallback& on_window = {});
 
 /// Incremental reader for save_trace_stream files feeding an OnlineEngine.
-/// Parses the header (registering the node table on the engine), then
-/// forwards raw record bytes through the engine's wire decoder.
+/// Parses the header (registering the node table on the engine and
+/// switching the engine's wire framing to match the file version — raw for
+/// v1, framed for v2), then forwards record bytes through the engine's
+/// wire decoder. Decode policy/validation comes from the engine's
+/// OnlineOptions::decode.
 class TraceFileTailer {
  public:
   TraceFileTailer(std::string path, OnlineEngine& engine);

@@ -1,0 +1,254 @@
+#include "testing/corrupt.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/crc32c.hpp"
+
+namespace microscope::testing {
+namespace {
+
+template <typename T>
+T get(const std::vector<std::byte>& buf, std::size_t at) {
+  T v;
+  std::memcpy(&v, buf.data() + at, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void put(std::vector<std::byte>& buf, std::size_t at, const T& v) {
+  std::memcpy(buf.data() + at, &v, sizeof(T));
+}
+
+std::size_t frame_size(const std::vector<std::byte>& buf, std::size_t off) {
+  return collector::kFrameHeaderBytes + get<std::uint16_t>(buf, off + 2);
+}
+
+/// Index of the frame containing byte `pos` (offsets must be sorted).
+std::size_t frame_index(const std::vector<std::size_t>& offsets,
+                        std::size_t pos) {
+  std::size_t i = 0;
+  while (i + 1 < offsets.size() && offsets[i + 1] <= pos) ++i;
+  return i;
+}
+
+void reseal_crc(std::vector<std::byte>& buf, std::size_t frame_off) {
+  const auto len = get<std::uint16_t>(buf, frame_off + 2);
+  put<std::uint32_t>(
+      buf, frame_off + 4,
+      crc32c(buf.data() + frame_off + collector::kFrameHeaderBytes, len));
+}
+
+}  // namespace
+
+void flip_bit(std::vector<std::byte>& buf, std::size_t pos, unsigned bit) {
+  buf.at(pos) ^= static_cast<std::byte>(1u << (bit & 7u));
+}
+
+void truncate_at(std::vector<std::byte>& buf, std::size_t pos) {
+  if (pos < buf.size()) buf.resize(pos);
+}
+
+void splice_bytes(std::vector<std::byte>& buf, std::size_t pos,
+                  std::size_t len, std::size_t fill, std::byte value) {
+  buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+            buf.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(pos), fill, value);
+}
+
+void duplicate_range(std::vector<std::byte>& buf, std::size_t pos,
+                     std::size_t len) {
+  const std::vector<std::byte> copy(
+      buf.begin() + static_cast<std::ptrdiff_t>(pos),
+      buf.begin() + static_cast<std::ptrdiff_t>(pos + len));
+  buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(pos + len),
+             copy.begin(), copy.end());
+}
+
+void cut_range(std::vector<std::byte>& buf, std::size_t pos, std::size_t len) {
+  buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+            buf.begin() + static_cast<std::ptrdiff_t>(pos + len));
+}
+
+std::vector<std::size_t> frame_offsets(const std::vector<std::byte>& region) {
+  std::vector<std::size_t> offsets;
+  std::size_t off = 0;
+  while (off < region.size()) {
+    if (off + collector::kFrameHeaderBytes > region.size() ||
+        get<std::uint16_t>(region, off) != collector::kFrameSync)
+      throw std::runtime_error("frame_offsets: malformed frame region");
+    const std::size_t size = frame_size(region, off);
+    if (off + size > region.size())
+      throw std::runtime_error("frame_offsets: torn final frame");
+    offsets.push_back(off);
+    off += size;
+  }
+  return offsets;
+}
+
+collector::DecodeErrorKind corrupt_frame_field(std::vector<std::byte>& buf,
+                                               std::size_t frame_off,
+                                               WireField field) {
+  const std::size_t payload = frame_off + collector::kFrameHeaderBytes;
+  const auto kind = get<std::uint8_t>(buf, payload);
+  if (kind > 1)
+    throw std::runtime_error("corrupt_frame_field: not a pristine frame");
+  collector::DecodeErrorKind expect{};
+  switch (field) {
+    case WireField::kKind:
+      put<std::uint8_t>(buf, payload, 0x7F);
+      expect = collector::DecodeErrorKind::kBadKind;
+      break;
+    case WireField::kNode:
+      put<std::uint32_t>(buf, payload + 1, 0xDEADBEEFu);
+      expect = collector::DecodeErrorKind::kUnknownNode;
+      break;
+    case WireField::kCount:
+      // kind(1) + node(4) [+ peer(4)] + ts(8).
+      put<std::uint16_t>(buf, payload + (kind == 1 ? 17 : 13), 0xFFFF);
+      expect = collector::DecodeErrorKind::kOversizedBatch;
+      break;
+    case WireField::kTimestamp:
+      put<std::int64_t>(buf, payload + (kind == 1 ? 9 : 5),
+                        std::int64_t{-1});
+      expect = collector::DecodeErrorKind::kTimestampRegression;
+      break;
+  }
+  reseal_crc(buf, frame_off);
+  return expect;
+}
+
+Corruption bit_flip_expectation(const std::vector<std::byte>& buf,
+                                const std::vector<std::size_t>& offsets,
+                                std::size_t pos, unsigned bit,
+                                std::size_t max_payload) {
+  Corruption c;
+  c.op = Corruption::Op::kBitFlip;
+  c.pos = pos;
+  c.expected_records = offsets.size() - 1;  // every flip faults its frame
+
+  const std::size_t f = offsets[frame_index(offsets, pos)];
+  const std::size_t field = pos - f;
+  if (field < 2) {
+    c.expect = collector::DecodeErrorKind::kBadSync;
+  } else if (field < 4) {
+    // The length field steers which validator sees the damage.
+    const std::uint16_t old_len = get<std::uint16_t>(buf, f + 2);
+    const std::uint16_t new_len = static_cast<std::uint16_t>(
+        old_len ^ (1u << (((field - 2) * 8) + (bit & 7u))));
+    if (new_len < collector::kMinRecordBytes || new_len > max_payload) {
+      c.expect = collector::DecodeErrorKind::kBadLength;
+    } else if (f + collector::kFrameHeaderBytes + new_len <= buf.size()) {
+      // The bogus frame fits in the stream; its CRC (sealed over the true
+      // payload span) cannot hold over the shifted one.
+      c.expect = collector::DecodeErrorKind::kBadCrc;
+    } else {
+      // Claims more bytes than the stream has: stalls as an incomplete
+      // frame until finish() declares the tail torn and re-scans past it.
+      c.expect = collector::DecodeErrorKind::kTruncatedTail;
+    }
+  } else {
+    // CRC field or payload: either way the checksum check fails.
+    c.expect = collector::DecodeErrorKind::kBadCrc;
+  }
+  return c;
+}
+
+std::uint64_t CorruptionFuzzer::next_u64() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::size_t CorruptionFuzzer::next_below(std::size_t n) {
+  return n == 0 ? 0 : static_cast<std::size_t>(next_u64() % n);
+}
+
+Corruption CorruptionFuzzer::apply_random(std::vector<std::byte>& buf,
+                                          const std::vector<std::size_t>& offsets,
+                                          std::size_t max_payload) {
+  const std::size_t n = offsets.size();
+  Corruption c;
+  switch (next_below(9)) {
+    case 0: {  // single-bit flip anywhere
+      const std::size_t pos = next_below(buf.size());
+      const unsigned bit = static_cast<unsigned>(next_below(8));
+      c = bit_flip_expectation(buf, offsets, pos, bit, max_payload);
+      flip_bit(buf, pos, bit);
+      break;
+    }
+    case 1: {  // truncation (crashed dumper)
+      const std::size_t pos = next_below(buf.size());
+      const std::size_t i = frame_index(offsets, pos);
+      c.op = Corruption::Op::kTruncate;
+      c.pos = pos;
+      if (pos == offsets[i]) {
+        // Cut lands exactly on a frame boundary: a shorter but clean file.
+        c.expected_records = i;
+      } else {
+        c.expect = collector::DecodeErrorKind::kTruncatedTail;
+        c.expected_records = i;
+      }
+      truncate_at(buf, pos);
+      break;
+    }
+    case 2: {  // zero-splice from a frame start (garbled region)
+      const std::size_t f = offsets[next_below(n)];
+      const std::size_t k = 1 + next_below(frame_size(buf, f));
+      c.op = Corruption::Op::kSplice;
+      c.pos = f;
+      c.expect = collector::DecodeErrorKind::kBadSync;
+      c.expected_records = n - 1;
+      splice_bytes(buf, f, k, k, std::byte{0});
+      break;
+    }
+    case 3: {  // whole-frame duplication (dumper retry) — benign
+      const std::size_t f = offsets[next_below(n)];
+      c.op = Corruption::Op::kDuplicateFrame;
+      c.pos = f;
+      c.expected_records = n + 1;
+      duplicate_range(buf, f, frame_size(buf, f));
+      break;
+    }
+    case 4: {  // mid-record cut (lost partial write)
+      const std::size_t f = offsets[next_below(n)];
+      const std::size_t size = frame_size(buf, f);
+      const std::size_t payload = size - collector::kFrameHeaderBytes;
+      const std::size_t pos =
+          f + collector::kFrameHeaderBytes + next_below(payload);
+      const std::size_t len = 1 + next_below(f + size - pos);
+      c.op = Corruption::Op::kMidRecordCut;
+      c.pos = pos;
+      c.expected_records = n - 1;
+      cut_range(buf, pos, len);
+      // The frame's length prefix survives but now reaches into whatever
+      // follows: a CRC mismatch when that much is present, a torn tail
+      // when it is not.
+      const std::uint16_t claimed = get<std::uint16_t>(buf, f + 2);
+      c.expect =
+          f + collector::kFrameHeaderBytes + claimed <= buf.size()
+              ? collector::DecodeErrorKind::kBadCrc
+              : collector::DecodeErrorKind::kTruncatedTail;
+      break;
+    }
+    default: {  // semantic payload corruption under a re-sealed CRC
+      static constexpr WireField kFields[] = {
+          WireField::kKind, WireField::kNode, WireField::kCount,
+          WireField::kTimestamp};
+      const WireField field = kFields[next_below(4)];
+      const std::size_t f = offsets[next_below(n)];
+      c.op = field == WireField::kKind        ? Corruption::Op::kFieldKind
+             : field == WireField::kNode      ? Corruption::Op::kFieldNode
+             : field == WireField::kCount     ? Corruption::Op::kFieldCount
+                                              : Corruption::Op::kFieldTimestamp;
+      c.pos = f;
+      c.expected_records = n - 1;
+      c.expect = corrupt_frame_field(buf, f, field);
+      break;
+    }
+  }
+  return c;
+}
+
+}  // namespace microscope::testing

@@ -1,0 +1,131 @@
+// Deterministic corruption fault-injection for wire-format byte streams.
+//
+// The decoder's recovery guarantees (one bad record costs one record; every
+// fault lands in exactly one taxonomy category) are only testable if the
+// test can say, for a given corruption, *which* category must fire. This
+// harness provides primitive mutations (bit flips, truncation, splices,
+// duplication, mid-record cuts), frame-aware semantic corruptions that
+// re-seal the CRC so the *payload* validators are exercised, and a seeded
+// fuzzer whose every mutation comes with the exact expected
+// DecodeErrorKind — so the corruption-storm test asserts per-category drop
+// counters, not just "didn't crash".
+//
+// Everything here is deterministic given the seed: CI failures replay.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "collector/wire.hpp"
+
+namespace microscope::testing {
+
+// --- primitive mutations (all operate on a byte buffer in place) ---------
+
+/// Flip one bit: byte `pos`, bit `bit` (0..7).
+void flip_bit(std::vector<std::byte>& buf, std::size_t pos, unsigned bit);
+
+/// Drop everything from `pos` on (a crashed dumper's torn tail).
+void truncate_at(std::vector<std::byte>& buf, std::size_t pos);
+
+/// Replace buf[pos, pos+len) with `fill` bytes of `value` (a hole punched
+/// by a lost/garbled region; len and fill may differ, shifting the tail).
+void splice_bytes(std::vector<std::byte>& buf, std::size_t pos,
+                  std::size_t len, std::size_t fill, std::byte value);
+
+/// Re-insert buf[pos, pos+len) immediately after itself (a dumper retry
+/// that wrote the same region twice).
+void duplicate_range(std::vector<std::byte>& buf, std::size_t pos,
+                     std::size_t len);
+
+/// Remove buf[pos, pos+len) entirely (a lost write: the tail shifts up).
+void cut_range(std::vector<std::byte>& buf, std::size_t pos, std::size_t len);
+
+// --- frame-aware helpers (v2 framed streams) ------------------------------
+
+/// Start offsets of every v2 frame in `region` (which must begin on a frame
+/// boundary and contain only well-formed frames). Throws std::runtime_error
+/// on malformed input — these helpers are for building test vectors, not
+/// for parsing untrusted data.
+std::vector<std::size_t> frame_offsets(const std::vector<std::byte>& region);
+
+/// Payload fields a semantic corruption can target.
+enum class WireField : std::uint8_t {
+  kKind,       // kind byte -> 0x7F
+  kNode,       // node id -> 0xDEADBEEF
+  kCount,      // batch count -> 0xFFFF
+  kTimestamp,  // ts -> a large negative value
+};
+
+/// Corrupt one payload field of the frame at `frame_off` and re-seal the
+/// frame's CRC so the framing layer accepts it — the corruption must be
+/// caught by the *record* validators, not the checksum. Returns the
+/// DecodeErrorKind a lenient decode must count for this frame.
+collector::DecodeErrorKind corrupt_frame_field(std::vector<std::byte>& buf,
+                                               std::size_t frame_off,
+                                               WireField field);
+
+// --- seeded fuzzer --------------------------------------------------------
+
+/// What one fuzzer trial did to the buffer, with the oracle's expectation.
+struct Corruption {
+  enum class Op : std::uint8_t {
+    kBitFlip,
+    kTruncate,
+    kSplice,
+    kDuplicateFrame,
+    kMidRecordCut,
+    kFieldKind,
+    kFieldNode,
+    kFieldCount,
+    kFieldTimestamp,
+  };
+  Op op{Op::kBitFlip};
+  std::size_t pos{0};  // primary byte offset the mutation touched
+  /// Category a lenient decode must count exactly once — or nullopt when
+  /// the mutation is benign (a duplicated frame is a valid record; a
+  /// truncation landing exactly on a frame boundary leaves no torn tail).
+  /// Under strict policy the decode must throw a DecodeError of exactly
+  /// this kind (and must not throw when nullopt).
+  std::optional<collector::DecodeErrorKind> expect;
+  /// Exact record count a lenient decode of the mutated buffer must
+  /// report: frames fully present and intact, plus duplicates.
+  std::size_t expected_records{0};
+};
+
+/// Oracle for flip_bit(buf, pos, bit) on a pristine framed region: which
+/// single category fires, given the decoder's frame-length ceiling
+/// `max_payload` (wire_max_payload_bytes of the decode options' batch cap).
+/// Every possible flip faults exactly one frame, so expected_records is
+/// always offsets.size() - 1.
+Corruption bit_flip_expectation(const std::vector<std::byte>& buf,
+                                const std::vector<std::size_t>& offsets,
+                                std::size_t pos, unsigned bit,
+                                std::size_t max_payload);
+
+/// Deterministic corruption source (SplitMix64 under the hood). Feed it a
+/// pristine framed region; each apply_random() mutates the buffer and
+/// returns the exact expectation for the decoder's lenient counters.
+class CorruptionFuzzer {
+ public:
+  explicit CorruptionFuzzer(std::uint64_t seed) : state_(seed) {}
+
+  /// Mutate `buf` (a pristine framed region whose frame starts are
+  /// `offsets`) with one randomly chosen corruption. `max_payload` is the
+  /// decoder's DecodeOptions-derived frame length ceiling, needed to
+  /// predict whether a flipped length byte reads as kBadLength, kBadCrc,
+  /// or kTruncatedTail.
+  Corruption apply_random(std::vector<std::byte>& buf,
+                          const std::vector<std::size_t>& offsets,
+                          std::size_t max_payload);
+
+ private:
+  std::uint64_t next_u64();
+  std::size_t next_below(std::size_t n);
+
+  std::uint64_t state_;
+};
+
+}  // namespace microscope::testing

@@ -189,6 +189,7 @@ TEST(Registry, PipelineMetricsCoverEveryStage) {
   const Snapshot s = reg.snapshot();
   // One canonical name per stage; the full list lives in metrics.cpp.
   EXPECT_NE(s.find("collector.ring.records"), nullptr);
+  EXPECT_NE(s.find("collector.decode.bad_crc"), nullptr);
   EXPECT_NE(s.find("trace.align.prepare_ns"), nullptr);
   EXPECT_NE(s.find("trace.reconstruct.journeys"), nullptr);
   EXPECT_NE(s.find("core.diagnose.victims"), nullptr);
