@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by --trace-out.
+
+Checks (any failure exits non-zero with a diagnostic):
+  * the file parses as JSON with the expected top-level shape
+    ({"traceEvents": [...], "displayTimeUnit": ..., "otherData": {...}});
+  * otherData carries the build-info block (git_hash/build_type/compiler)
+    and a droppedEvents count;
+  * every event has name/cat/ph/ts/pid/tid; ph is B, E or i;
+  * per tid, timestamps are monotonically non-decreasing;
+  * per tid, B/E events form matched, properly nested pairs (a stack
+    machine accepts the stream; E's name/cat matches its B);
+  * correlation tags (args.window / args.victim) are integers when present;
+  * the expected pipeline stages appear (override with --require).
+
+Usage:
+  check_trace_export.py trace.json
+  check_trace_export.py trace.json --require collector/drain trace/align \
+      trace/reconstruct core/victims.latency core/diagnose \
+      online/window.open online/window.close
+  check_trace_export.py trace.json --expect-windows --expect-victims
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+DEFAULT_REQUIRED = [
+    "collector/drain",
+    "trace/align",
+    "trace/reconstruct",
+    "core/victims.latency",
+    "core/diagnose",
+    "online/window.open",
+    "online/window.close",
+]
+
+
+def fail(msg):
+    print(f"check_trace_export: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--require",
+        nargs="*",
+        default=DEFAULT_REQUIRED,
+        help="cat/name pairs that must appear at least once",
+    )
+    ap.add_argument(
+        "--expect-windows",
+        action="store_true",
+        help="require at least one event tagged with args.window",
+    )
+    ap.add_argument(
+        "--expect-victims",
+        action="store_true",
+        help="require at least one event tagged with args.victim",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+
+    other = doc.get("otherData")
+    if not isinstance(other, dict):
+        fail("otherData block missing")
+    build = other.get("build")
+    if not isinstance(build, dict):
+        fail("otherData.build block missing")
+    for key in ("git_hash", "build_type", "compiler"):
+        if not isinstance(build.get(key), str) or not build[key]:
+            fail(f"otherData.build.{key} missing or empty")
+    if not isinstance(other.get("droppedEvents"), int):
+        fail("otherData.droppedEvents missing")
+
+    last_ts = {}  # tid -> ts
+    stacks = collections.defaultdict(list)  # tid -> [(name, cat)]
+    seen = set()  # "cat/name" observed
+    tagged_windows = 0
+    tagged_victims = 0
+
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing {key}")
+        name, cat, ph, ts, tid = ev["name"], ev["cat"], ev["ph"], ev["ts"], ev["tid"]
+        if ph not in ("B", "E", "i"):
+            fail(f"{where}: unexpected phase {ph!r}")
+        if not isinstance(ts, (int, float)):
+            fail(f"{where}: non-numeric ts")
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(
+                f"{where}: ts went backwards on tid {tid} "
+                f"({last_ts[tid]} -> {ts})"
+            )
+        last_ts[tid] = ts
+        if ph == "B":
+            stacks[tid].append((name, cat))
+        elif ph == "E":
+            if not stacks[tid]:
+                fail(f"{where}: E with empty stack on tid {tid}")
+            top = stacks[tid].pop()
+            if top != (name, cat):
+                fail(
+                    f"{where}: E {cat}/{name} does not match open span "
+                    f"{top[1]}/{top[0]} on tid {tid}"
+                )
+        seen.add(f"{cat}/{name}")
+        a = ev.get("args", {})
+        if not isinstance(a, dict):
+            fail(f"{where}: args must be an object")
+        for tag in ("window", "victim", "items"):
+            if tag in a and not isinstance(a[tag], int):
+                fail(f"{where}: args.{tag} must be an integer")
+        if "window" in a:
+            tagged_windows += 1
+        if "victim" in a:
+            tagged_victims += 1
+
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"tid {tid}: {len(stack)} unclosed span(s): {stack}")
+
+    missing = [r for r in args.require if r not in seen]
+    if missing:
+        fail(f"required stages never appeared: {missing}; saw {sorted(seen)}")
+
+    if args.expect_windows and tagged_windows == 0:
+        fail("no event carries a window correlation tag")
+    if args.expect_victims and tagged_victims == 0:
+        fail("no event carries a victim correlation tag")
+
+    print(
+        f"check_trace_export: OK: {len(events)} events, "
+        f"{len(last_ts)} tids, {len(seen)} distinct cat/name, "
+        f"{tagged_windows} window-tagged, {tagged_victims} victim-tagged"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -35,6 +35,19 @@
 //     --metrics-every <n>             in --follow mode, also dump metrics to
 //                                     stderr every n closed windows
 //                                     (default 10; 0 disables)
+//     --trace-out <path>              record a pipeline flight-recorder
+//                                     timeline and write it as Chrome
+//                                     trace-event JSON (open in Perfetto /
+//                                     chrome://tracing)
+//     --trace-jsonl <path>            same timeline as structured JSONL
+//     --explain top=<k>|victim=<journey>|flow=<a.b.c.d>
+//                                     offline mode only: instead of the
+//                                     report, print the full provenance of
+//                                     the selected victims' diagnoses (the
+//                                     eqn (1)-(2) inputs, per-path timespans
+//                                     and every attribution share); --json
+//                                     switches to provenance JSON
+//     --version                       print build provenance and exit
 //
 // Examples:
 //   microscope_cli --duration 200 --burst t=60,n=2000 --patterns
@@ -42,7 +55,10 @@
 //   microscope_cli --save-stream trace.bin && microscope_cli --follow-file trace.bin
 //   microscope_cli --metrics=json | tail -1 | python3 -m json.tool
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -152,6 +168,71 @@ void print_follow_summary(const online::OnlineEngine& eng,
   }
 }
 
+/// Parse a dotted quad; exits with a usage error on malformed input.
+std::uint32_t parse_ipv4_or_die(const std::string& s) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255)
+    usage_error("bad IPv4 address " + s);
+  return make_ipv4(a, b, c, d);
+}
+
+/// --explain: re-diagnose the selected victims with provenance capture and
+/// print the attribution trees (or provenance JSON with --json).
+void run_explain(const core::Diagnoser& diag,
+                 const std::vector<core::Victim>& victims,
+                 const std::string& spec,
+                 const autofocus::NfCatalog& catalog, bool json) {
+  std::vector<core::Victim> sel;
+  if (spec.rfind("top=", 0) == 0) {
+    const int k = std::atoi(spec.c_str() + 4);
+    if (k <= 0) usage_error("--explain top=<k> needs k >= 1");
+    // Rank victims by total diagnosed impact, then explain the heaviest.
+    std::vector<std::pair<double, std::size_t>> impact;
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      double total = 0.0;
+      for (const core::CausalRelation& r : diag.diagnose(victims[i]).relations)
+        total += r.score;
+      impact.emplace_back(total, i);
+    }
+    std::stable_sort(
+        impact.begin(), impact.end(),
+        [](const auto& a, const auto& b) { return a.first > b.first; });
+    const auto take = std::min(impact.size(), static_cast<std::size_t>(k));
+    for (std::size_t i = 0; i < take; ++i)
+      sel.push_back(victims[impact[i].second]);
+  } else if (spec.rfind("victim=", 0) == 0) {
+    const auto jid = static_cast<std::uint32_t>(std::atoll(spec.c_str() + 7));
+    for (const core::Victim& v : victims)
+      if (v.journey == jid) sel.push_back(v);
+    if (sel.empty())
+      usage_error("--explain victim=" + std::to_string(jid) +
+                  ": no victim with that journey id (see the report)");
+  } else if (spec.rfind("flow=", 0) == 0) {
+    const std::uint32_t ip = parse_ipv4_or_die(spec.substr(5));
+    for (const core::Victim& v : victims)
+      if (v.flow.src_ip == ip || v.flow.dst_ip == ip) sel.push_back(v);
+    if (sel.empty()) usage_error("--explain flow=...: no victim on that flow");
+  } else {
+    usage_error("--explain wants top=<k>, victim=<journey> or flow=<ip>");
+  }
+
+  if (json) std::cout << "[";
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    core::Provenance prov;
+    diag.diagnose(sel[i], &prov);
+    if (json) {
+      std::cout << (i > 0 ? ",\n" : "\n")
+                << core::provenance_to_json(prov, catalog.node_names);
+    } else {
+      if (i > 0) std::cout << "\n";
+      std::cout << core::render_explain_tree(prov, catalog.node_names);
+    }
+  }
+  if (json) std::cout << "\n]\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +253,9 @@ int main(int argc, char** argv) {
   bool want_metrics = false;
   bool metrics_json = false;
   std::size_t metrics_every = 10;
+  std::string trace_out;
+  std::string trace_jsonl;
+  std::string explain_spec;
   std::vector<BurstSpec> bursts;
   std::vector<InterruptSpec> interrupts;
   std::optional<BugSpec> bug;
@@ -220,6 +304,15 @@ int main(int argc, char** argv) {
       want_metrics = true;
     } else if (arg == "--metrics-every") {
       metrics_every = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--trace-jsonl") {
+      trace_jsonl = next();
+    } else if (arg == "--explain") {
+      explain_spec = next();
+    } else if (arg == "--version") {
+      std::cout << obs::build_info_text();
+      return 0;
     } else if (arg == "--burst") {
       const auto kv = parse_kv(next());
       bursts.push_back({static_cast<TimeNs>(get_num(kv, "t", 50) * 1e6),
@@ -245,6 +338,14 @@ int main(int argc, char** argv) {
   }
   if (topology != "fig10")
     usage_error("only the fig10 topology is wired up in this CLI");
+  if (!explain_spec.empty() && follow)
+    usage_error(
+        "--explain needs the offline pass (drop --follow/--follow-file)");
+  // --explain --json promises machine-readable stdout: route the setup
+  // narrative to stderr so the provenance array can be piped straight into
+  // a JSON parser.
+  std::ostream& note =
+      (!explain_spec.empty() && want_json) ? std::cerr : std::cout;
 
   // ---- build + inject + run ----
   sim::Simulator simulator;
@@ -275,6 +376,31 @@ int main(int argc, char** argv) {
                                : obs::to_text(snap));
   };
 
+  // Flight recorder: on when any trace export was requested. Exported at
+  // the end of whichever pipeline ran (the drain resets the recorder).
+  if (!trace_out.empty() || !trace_jsonl.empty())
+    obs::TraceRecorder::global().enable();
+  auto write_traces = [&] {
+    if (trace_out.empty() && trace_jsonl.empty()) return;
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    const std::uint64_t dropped = rec.dropped();
+    const auto events = rec.drain();
+    auto write_file = [](const std::string& path, const std::string& body) {
+      std::ofstream f(path, std::ios::binary);
+      if (!f) usage_error("cannot write " + path);
+      f << body;
+    };
+    if (!trace_out.empty()) {
+      write_file(trace_out, obs::export_chrome_trace(events, dropped));
+      std::cout << "chrome trace written to " << trace_out << " ("
+                << events.size() << " events, " << dropped << " dropped)\n";
+    }
+    if (!trace_jsonl.empty()) {
+      write_file(trace_jsonl, obs::export_trace_jsonl(events, dropped));
+      std::cout << "jsonl trace written to " << trace_jsonl << "\n";
+    }
+  };
+
   if (!follow_file.empty()) {
     // Tail a previously saved stream trace: no simulation at all. The
     // node table in the file header registers the nodes on the engine.
@@ -303,6 +429,7 @@ int main(int argc, char** argv) {
       eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
     }
     dump_metrics();
+    write_traces();
     return 0;
   }
 
@@ -325,7 +452,7 @@ int main(int argc, char** argv) {
     flow.dst_port = 443;
     flow.proto = 6;
     nf::inject_burst(traffic, flow, b.t, b.n, 120, ++tag);
-    std::cout << "burst @" << to_ms(b.t) << " ms: " << b.n << " pkts of "
+    note << "burst @" << to_ms(b.t) << " ms: " << b.n << " pkts of "
               << format_five_tuple(flow) << "\n";
   }
 
@@ -336,7 +463,7 @@ int main(int argc, char** argv) {
       if (topo.name(id) == spec.nf) target = id;
     if (target == kInvalidNode) usage_error("unknown NF name " + spec.nf);
     nf::schedule_interrupt(simulator, topo.nf(target), spec.t, spec.len, log);
-    std::cout << "interrupt @" << to_ms(spec.t) << " ms: " << spec.nf << " for "
+    note << "interrupt @" << to_ms(spec.t) << " ms: " << spec.nf << " for "
               << to_us(spec.len) << " us\n";
   }
 
@@ -351,7 +478,7 @@ int main(int argc, char** argv) {
     dynamic_cast<nf::Firewall&>(topo.nf(fw)).set_bug(fb);
     const auto triggers = eval::bug_trigger_flows(net, fw);
     nf::inject_burst(traffic, triggers[0], bug->t, bug->n, 5_us, ++tag);
-    std::cout << "bug @" << topo.name(fw) << ", triggers @" << to_ms(bug->t)
+    note << "bug @" << topo.name(fw) << ", triggers @" << to_ms(bug->t)
               << " ms: " << bug->n << " pkts\n";
   }
 
@@ -366,16 +493,16 @@ int main(int argc, char** argv) {
 
   topo.source(net.source).load(std::move(traffic));
   simulator.run_until(duration + 20_ms);
-  std::cout << "simulated " << to_ms(duration) << " ms of traffic; collected "
+  note << "simulated " << to_ms(duration) << " ms of traffic; collected "
             << col.compressed_bytes() / 1024 << " KiB of records\n\n";
 
   if (!save_path.empty()) {
     collector::save_trace(col, save_path);
-    std::cout << "trace saved to " << save_path << "\n";
+    note << "trace saved to " << save_path << "\n";
   }
   if (!save_stream_path.empty()) {
     collector::save_trace_stream(col, save_stream_path);
-    std::cout << "stream trace saved to " << save_stream_path
+    note << "stream trace saved to " << save_stream_path
               << " (tailable with --follow-file)\n";
   }
 
@@ -399,8 +526,16 @@ int main(int argc, char** argv) {
     ropt.prop_delay = topo.options().prop_delay;
     const auto rt = trace::reconstruct(col, trace::graph_view(topo), ropt);
     core::Diagnoser diag(rt, topo.peak_rates());
+    const auto victims = diag.latency_victims_by_threshold(threshold);
 
-    for (const core::Victim& v : diag.latency_victims_by_threshold(threshold))
+    if (!explain_spec.empty()) {
+      run_explain(diag, victims, explain_spec, catalog, want_json);
+      dump_metrics();
+      write_traces();
+      return 0;
+    }
+
+    for (const core::Victim& v : victims)
       diagnoses.push_back(diag.diagnose(v));
 
     if (want_patterns) {
@@ -414,5 +549,6 @@ int main(int argc, char** argv) {
     eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
   }
   dump_metrics();
+  write_traces();
   return 0;
 }

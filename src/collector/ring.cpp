@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/tracing.hpp"
+
 namespace microscope::collector {
 
 SpscByteRing::SpscByteRing(std::size_t capacity_pow2) : buf_(capacity_pow2) {
@@ -112,6 +114,7 @@ void RingCollector::dumper_main() {
     if (n > 0) {
       // Dump latency: wall time to decode one drained chunk into the
       // offline store (the consumer-side half of the paper's dumper).
+      obs::TraceSpan span("collector", "drain", n);
       obs::ScopedTimer timer(*obs_dump_ns_);
       decoder_.feed(std::span<const std::byte>(chunk.data(), n));
       timer.stop();

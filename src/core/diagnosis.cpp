@@ -1,12 +1,14 @@
 #include "core/diagnosis.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <map>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
 
 namespace microscope::core {
 
@@ -25,6 +27,7 @@ struct DiagnoseMetrics {
   obs::Histogram& ns;
   obs::Histogram& depth;
   obs::Histogram& relation_score;
+  obs::Gauge& residual;
 
   static DiagnoseMetrics& get() {
     static DiagnoseMetrics m{
@@ -35,7 +38,8 @@ struct DiagnoseMetrics {
         obs::Registry::global().histogram("core.diagnose.depth",
                                           obs::depth_bounds()),
         obs::Registry::global().histogram("core.diagnose.relation_score",
-                                          obs::score_bounds())};
+                                          obs::score_bounds()),
+        obs::Registry::global().gauge("core.diagnosis.attribution_residual")};
     return m;
   }
 };
@@ -80,12 +84,20 @@ std::vector<Diagnosis> Diagnoser::diagnose_all(
   return out;
 }
 
-Diagnosis Diagnoser::diagnose(const Victim& v) const {
+Diagnosis Diagnoser::diagnose(const Victim& v, Provenance* prov) const {
   DiagnoseMetrics& m = DiagnoseMetrics::get();
   obs::ScopedTimer timer(m.ns);
+  const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
+  const auto vscope =
+      obs::CorrelationScope::for_victim(static_cast<std::int64_t>(v.journey));
+  obs::TraceSpan span("core", "diagnose");
   m.victims.add();
   Diagnosis d;
   d.victim = v;
+  if (prov) {
+    *prov = Provenance{};
+    prov->victim = v;
+  }
   const NodeId f = v.node;
   if (!rt_->has_timeline(f)) {
     m.no_period.add();
@@ -98,10 +110,19 @@ Diagnosis Diagnoser::diagnose(const Victim& v) const {
   }
 
   const LocalScores ls = local_scores(rt_->timeline(f), *period, peak_rates_[f]);
+  if (prov) {
+    prov->found_period = true;
+    prov->period_start = period->start;
+    prov->period_end = period->end;
+    prov->local = ls;
+    prov->emitted_local = ls.s_p > opts_.min_score;
+    prov->propagated = ls.s_i > opts_.min_score;
+  }
   if (ls.s_p > opts_.min_score) emit_local(f, *period, ls.s_p, 0, d);
   if (ls.s_i > opts_.min_score)
-    propagate(f, *period, ls.s_i, 0, v.journey, d);
+    propagate(f, *period, ls.s_i, 0, v.journey, d, prov, -1);
   record_diagnosis(d, m);
+  span.set_items(d.relations.size());
   return d;
 }
 
@@ -138,20 +159,48 @@ std::vector<NodeId> path_before(const Journey& j, NodeId f) {
 
 void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
                           double base_score, int depth,
-                          std::uint32_t victim_journey, Diagnosis& out) const {
+                          std::uint32_t victim_journey, Diagnosis& out,
+                          Provenance* prov, int prov_parent) const {
   const NodeTimeline& tl = rt_->timeline(f);
+
+  // Reserve this invocation's provenance step up front so children appear
+  // after their parent. `prov->steps` grows during recursion, so the step
+  // is always re-addressed by index, never held by reference across calls.
+  const int step_idx = prov ? static_cast<int>(prov->steps.size()) : -1;
+  if (prov) {
+    PropagationStep st;
+    st.parent = prov_parent;
+    st.node = f;
+    st.depth = depth;
+    st.base_score = base_score;
+    st.period_start = period.start;
+    st.period_end = period.end;
+    prov->steps.push_back(std::move(st));
+  }
 
   // ---- Collect PreSet(p), grouped by upstream path. ----
   std::map<std::vector<NodeId>, PathGroup> groups;
   std::size_t n_grouped = 0;
+  std::size_t n_skipped = 0;
   for (std::size_t i = period.first_arrival; i < period.last_arrival; ++i) {
     const trace::Arrival& a = tl.arrivals[i];
-    if (a.journey == kNoJourney || a.journey == victim_journey) continue;
+    if (a.journey == victim_journey) continue;  // PreSet excludes p itself
+    if (a.journey == kNoJourney) {
+      ++n_skipped;
+      continue;
+    }
     const Journey& j = rt_->journey(a.journey);
     std::vector<NodeId> path = path_before(j, f);
-    if (path.empty()) continue;
+    if (path.empty()) {
+      ++n_skipped;
+      continue;
+    }
     groups[std::move(path)].jids.push_back(a.journey);
     ++n_grouped;
+  }
+  if (prov) {
+    prov->steps[step_idx].preset_packets = n_grouped;
+    prov->steps[step_idx].preset_skipped = n_skipped;
   }
   if (n_grouped == 0) return;
 
@@ -159,6 +208,10 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
   const double r_f = peak_rates_[f].pkts_per_ns;
   if (r_f <= 0.0) return;
   const double t_exp = static_cast<double>(period.arrival_count()) / r_f;
+  if (prov) {
+    prov->steps[step_idx].r_pkts_per_ns = r_f;
+    prov->steps[step_idx].t_exp_ns = t_exp;
+  }
 
   // ---- Per-path timespan attribution. ----
   struct SourceAccum {
@@ -170,6 +223,13 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
   std::unordered_map<NodeId, double> nf_scores;
   std::unordered_map<NodeId, SourceAccum> source_scores;
   std::unordered_map<NodeId, std::vector<std::uint32_t>> nf_jids;
+
+  // Conservation accounting (always on): every path's share either lands
+  // on hops (`attributed`) or is deliberately charged to nobody when the
+  // path shows no compression (`uncharged`); the difference from
+  // base_score is floating-point rounding only.
+  double attributed = 0.0;
+  double uncharged = 0.0;
 
   for (auto& [path, group] : groups) {
     const double share =
@@ -195,7 +255,12 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
       spans[k].timespan = static_cast<double>(hi[k] - lo[k]);
     }
 
-    for (const HopScore& hs : attribute_timespan(spans, t_exp, share)) {
+    const std::vector<HopScore> hop_scores =
+        attribute_timespan(spans, t_exp, share);
+    double path_attributed = 0.0;
+    for (std::size_t k = 0; k < hop_scores.size(); ++k) {
+      const HopScore& hs = hop_scores[k];
+      path_attributed += hs.score;
       if (hs.score <= 0.0) continue;
       if (rt_->graph().is_source(hs.node)) {
         SourceAccum& acc = source_scores[hs.node];
@@ -209,17 +274,66 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
         js.insert(js.end(), group.jids.begin(), group.jids.end());
       }
     }
+    attributed += path_attributed;
+    if (path_attributed <= 0.0) uncharged += share;
+    if (prov) {
+      PathAttribution pa;
+      pa.path = path;
+      pa.packets = group.jids.size();
+      pa.share = share;
+      pa.hops.reserve(hop_scores.size());
+      for (std::size_t k = 0; k < hop_scores.size(); ++k)
+        pa.hops.push_back(
+            {hop_scores[k].node, spans[k].timespan, hop_scores[k].score});
+      prov->steps[step_idx].paths.push_back(std::move(pa));
+    }
+  }
+
+  // Satellite invariant (paper eqn (1)): the shares handed out sum back to
+  // the S_i that flowed in, modulo deliberately-uncharged smooth paths.
+  const double rounding = base_score - attributed - uncharged;
+  assert(std::abs(rounding) <= 1e-6 * std::max(1.0, base_score));
+  if constexpr (obs::kMetricsEnabled)
+    DiagnoseMetrics::get().residual.add(std::abs(rounding));
+  if (prov) {
+    prov->steps[step_idx].attributed = attributed;
+    prov->steps[step_idx].uncharged = uncharged;
+    prov->steps[step_idx].residual = rounding;
   }
 
   // ---- Emit source culprits. ----
   for (auto& [src, acc] : source_scores) {
-    if (acc.score < opts_.min_score) continue;
+    const bool emitted = acc.score >= opts_.min_score;
+    if (prov) {
+      CulpritAttribution ca;
+      ca.node = src;
+      ca.kind = CauseKind::kSourceTraffic;
+      ca.score = acc.score;
+      ca.outcome = emitted ? AttributionOutcome::kEmittedSource
+                           : AttributionOutcome::kZeroedBelowMin;
+      prov->steps[step_idx].culprits.push_back(std::move(ca));
+    }
+    if (!emitted) continue;
     emit_source(src, acc.score, depth, acc.t0, acc.t1, acc.jids, out);
   }
 
   // ---- Recurse into NF culprits (§4.3). ----
   for (auto& [u, score] : nf_scores) {
-    if (score < opts_.min_score) continue;
+    // Provenance for this culprit is buffered locally and appended at the
+    // end of the iteration: the recursive call below grows prov->steps.
+    CulpritAttribution ca;
+    ca.node = u;
+    ca.kind = CauseKind::kLocalProcessing;
+    ca.score = score;
+    const auto push_culprit = [&](AttributionOutcome outcome) {
+      if (!prov) return;
+      ca.outcome = outcome;
+      prov->steps[step_idx].culprits.push_back(ca);
+    };
+    if (score < opts_.min_score) {
+      push_culprit(AttributionOutcome::kZeroedBelowMin);
+      continue;
+    }
 
     // First arrival of the PreSet subset at u.
     TimeNs t_first_u = kTimeNever;
@@ -271,6 +385,7 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
       if (rel.flows.size() > opts_.max_flows_per_relation)
         rel.flows.resize(opts_.max_flows_per_relation);
       out.relations.push_back(std::move(rel));
+      push_culprit(AttributionOutcome::kTerminalLocal);
       continue;
     }
 
@@ -279,14 +394,23 @@ void Diagnoser::propagate(NodeId f, const QueuingPeriod& period,
     const double denom = sub.s_i + sub.s_p;
     if (denom <= 0.0) {
       emit_local(u, *period_u, score, depth + 1, out);
+      push_culprit(AttributionOutcome::kTerminalLocal);
       continue;
     }
     const double local_part = score * (sub.s_p / denom);
     const double input_part = score * (sub.s_i / denom);
+    ca.sub_s_i = sub.s_i;
+    ca.sub_s_p = sub.s_p;
+    ca.local_part = local_part;
+    ca.input_part = input_part;
     if (local_part > opts_.min_score)
       emit_local(u, *period_u, local_part, depth + 1, out);
-    if (input_part > opts_.min_score)
-      propagate(u, *period_u, input_part, depth + 1, victim_journey, out);
+    if (input_part > opts_.min_score) {
+      ca.child_step = prov ? static_cast<int>(prov->steps.size()) : -1;
+      propagate(u, *period_u, input_part, depth + 1, victim_journey, out,
+                prov, step_idx);
+    }
+    push_culprit(AttributionOutcome::kRecursed);
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/period.hpp"
+#include "core/provenance.hpp"
 #include "core/relation.hpp"
 #include "core/timespan.hpp"
 #include "trace/reconstruct.hpp"
@@ -28,6 +29,11 @@ struct DiagnoserOptions {
   /// per-victim diagnosis is a pure function of the (immutable)
   /// reconstructed trace, so parallel output is byte-identical.
   ParallelOptions parallel{};
+  /// Online window index to stamp on trace spans recorded inside
+  /// diagnose() (obs/tracing correlation tag). Carried through options
+  /// because diagnose_all() fans out to pool threads, where the caller's
+  /// thread-local CorrelationScope does not reach. -1 = no window.
+  std::int64_t trace_window = -1;
 };
 
 class Diagnoser {
@@ -35,8 +41,10 @@ class Diagnoser {
   Diagnoser(const trace::ReconstructedTrace& rt,
             std::vector<RatePerNs> peak_rates, DiagnoserOptions opts = {});
 
-  /// Diagnose one victim: full recursive causal analysis.
-  Diagnosis diagnose(const Victim& victim) const;
+  /// Diagnose one victim: full recursive causal analysis. When `prov` is
+  /// non-null it is overwritten with the full provenance of the run (the
+  /// diagnosis itself is unaffected — capture is observation only).
+  Diagnosis diagnose(const Victim& victim, Provenance* prov = nullptr) const;
 
   /// Diagnose every victim, sharded across the pool configured by
   /// options().parallel; out[i] is diagnose(victims[i]) regardless of
@@ -73,9 +81,11 @@ class Diagnoser {
  private:
   /// Distribute `base_score` of input-driven queue buildup at `node` over
   /// the given period among upstream culprits; recurse (§4.2-§4.3).
+  /// `prov`/`prov_parent` (nullable / -1) capture a PropagationStep per
+  /// invocation, linked into the provenance tree.
   void propagate(NodeId node, const QueuingPeriod& period, double base_score,
-                 int depth, std::uint32_t victim_journey,
-                 Diagnosis& out) const;
+                 int depth, std::uint32_t victim_journey, Diagnosis& out,
+                 Provenance* prov, int prov_parent) const;
 
   /// Emit a local-processing relation at `node` for `period`.
   void emit_local(NodeId node, const QueuingPeriod& period, double score,

@@ -1,0 +1,268 @@
+#include "core/provenance.hpp"
+
+#include <cstdio>
+
+#include "obs/build_info.hpp"
+
+namespace microscope::core {
+
+namespace {
+
+std::string node_label(NodeId id, const std::vector<std::string>& names) {
+  if (id < names.size() && !names[id].empty()) return names[id];
+  return "node" + std::to_string(id);
+}
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string ms(TimeNs t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", to_ms(t));
+  return buf;
+}
+
+std::string us_dur(double ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.1f", ns / 1e3);
+  return buf;
+}
+
+const char* victim_kind_str(Victim::Kind k) {
+  switch (k) {
+    case Victim::Kind::kHighLatency:
+      return "high-latency";
+    case Victim::Kind::kDropped:
+      return "dropped";
+    case Victim::Kind::kLowThroughput:
+      return "low-throughput";
+    case Victim::Kind::kInNfDelay:
+      return "in-nf-delay";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_string(AttributionOutcome o) {
+  switch (o) {
+    case AttributionOutcome::kEmittedSource:
+      return "emitted-source";
+    case AttributionOutcome::kRecursed:
+      return "recursed";
+    case AttributionOutcome::kTerminalLocal:
+      return "terminal-local";
+    case AttributionOutcome::kZeroedBelowMin:
+      return "zeroed-below-min-score";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Depth-first step rendering; `indent` is the current prefix.
+void render_step(const Provenance& prov, int idx,
+                 const std::vector<std::string>& names,
+                 const std::string& indent, std::string& out) {
+  const PropagationStep& st = prov.steps[static_cast<std::size_t>(idx)];
+  out += indent + "propagate " + num(st.base_score) + " pkts of buildup at " +
+         node_label(st.node, names) + " (depth " + std::to_string(st.depth) +
+         "), period [" + ms(st.period_start) + ", " + ms(st.period_end) +
+         "] ms\n";
+  if (st.preset_packets == 0) {
+    out += indent + "  no upstream PreSet packets — nothing to attribute\n";
+    return;
+  }
+  out += indent + "  PreSet " + std::to_string(st.preset_packets) + " pkts";
+  if (st.preset_skipped > 0)
+    out += " (+" + std::to_string(st.preset_skipped) + " unattributable)";
+  out += ", T_exp = n_i/r = " + us_dur(st.t_exp_ns) + " us\n";
+  for (const PathAttribution& p : st.paths) {
+    out += indent + "  path ";
+    for (std::size_t i = 0; i < p.path.size(); ++i) {
+      if (i > 0) out += " -> ";
+      out += node_label(p.path[i], names);
+    }
+    out += " (" + std::to_string(p.packets) + " pkts, share " + num(p.share) +
+           "):\n";
+    for (const HopAttribution& h : p.hops) {
+      out += indent + "    " + node_label(h.node, names) + ": timespan " +
+             us_dur(h.timespan_ns) + " us -> score " + num(h.score) + "\n";
+    }
+  }
+  for (const CulpritAttribution& c : st.culprits) {
+    out += indent + "  => " + node_label(c.node, names) + " [" +
+           to_string(c.kind) + "] score " + num(c.score) + " : " +
+           to_string(c.outcome);
+    if (c.outcome == AttributionOutcome::kRecursed) {
+      out += " (its period: S_i=" + num(c.sub_s_i) +
+             " S_p=" + num(c.sub_s_p) + "; kept local " + num(c.local_part) +
+             ", pushed upstream " + num(c.input_part) + ")";
+    }
+    out += "\n";
+    if (c.child_step >= 0)
+      render_step(prov, c.child_step, names, indent + "    ", out);
+  }
+  if (st.uncharged != 0.0)
+    out += indent + "  uncharged " + num(st.uncharged) +
+           " (paths with no visible compression — charged to nobody)\n";
+  if (st.residual != 0.0)
+    out += indent + "  rounding residual " + num(st.residual) + "\n";
+}
+
+}  // namespace
+
+std::string render_explain_tree(const Provenance& prov,
+                                const std::vector<std::string>& node_names) {
+  const Victim& v = prov.victim;
+  std::string out;
+  out += "victim: journey #" + std::to_string(v.journey) + " [" +
+         victim_kind_str(v.kind) + "] flow " + format_five_tuple(v.flow) +
+         "\n";
+  out += "  at " + node_label(v.node, node_names) + ", t=" + ms(v.time) +
+         " ms";
+  if (v.e2e_latency > 0)
+    out += ", e2e " + us_dur(static_cast<double>(v.e2e_latency)) + " us";
+  if (v.hop_latency > 0)
+    out += ", hop " + us_dur(static_cast<double>(v.hop_latency)) + " us";
+  out += "\n";
+  if (!prov.found_period) {
+    out += "no queuing period: the queue was provably empty on arrival — "
+           "not a queue-caused problem at this NF\n";
+    return out;
+  }
+  out += "queuing period at " + node_label(v.node, node_names) + ": [" +
+         ms(prov.period_start) + ", " + ms(prov.period_end) + "] ms (T = " +
+         us_dur(static_cast<double>(prov.period_end - prov.period_start)) +
+         " us)\n";
+  out += "  n_i = " + num(prov.local.n_i) + "   n_p = " + num(prov.local.n_p) +
+         "   r*T = " + num(prov.local.expected) + "\n";
+  out += "  S_i = " + num(prov.local.s_i) + " (input workload, eq 1)   S_p = " +
+         num(prov.local.s_p) + " (local processing, eq 2)\n";
+  out += std::string("local relation @") + node_label(v.node, node_names) +
+         " score " + num(prov.local.s_p) +
+         (prov.emitted_local ? "  [emitted]" : "  [zeroed: below min_score]") +
+         "\n";
+  if (!prov.propagated) {
+    out += "S_i " + num(prov.local.s_i) +
+           " not propagated (below min_score)\n";
+    return out;
+  }
+  for (std::size_t i = 0; i < prov.steps.size(); ++i)
+    if (prov.steps[i].parent < 0)
+      render_step(prov, static_cast<int>(i), node_names, "", out);
+  return out;
+}
+
+namespace {
+
+void flow_json(std::string& out, const FiveTuple& ft) {
+  out += "{\"src\": \"" + format_ipv4(ft.src_ip) + "\", \"dst\": \"" +
+         format_ipv4(ft.dst_ip) +
+         "\", \"sport\": " + std::to_string(ft.src_port) +
+         ", \"dport\": " + std::to_string(ft.dst_port) +
+         ", \"proto\": " + std::to_string(static_cast<int>(ft.proto)) + "}";
+}
+
+void node_json(std::string& out, NodeId id,
+               const std::vector<std::string>& names) {
+  out += "{\"id\": " + std::to_string(id) + ", \"name\": \"" +
+         node_label(id, names) + "\"}";
+}
+
+}  // namespace
+
+std::string provenance_to_json(const Provenance& prov,
+                               const std::vector<std::string>& node_names) {
+  const Victim& v = prov.victim;
+  std::string out = "{\"build\": " + obs::build_info_json() + ",\n";
+  out += "\"victim\": {\"journey\": " + std::to_string(v.journey) +
+         ", \"kind\": \"" + victim_kind_str(v.kind) + "\", \"node\": ";
+  node_json(out, v.node, node_names);
+  out += ", \"t_ns\": " + std::to_string(v.time) +
+         ", \"hop_latency_ns\": " + std::to_string(v.hop_latency) +
+         ", \"e2e_latency_ns\": " + std::to_string(v.e2e_latency) +
+         ", \"flow\": ";
+  flow_json(out, v.flow);
+  out += "},\n";
+  out += std::string("\"found_period\": ") +
+         (prov.found_period ? "true" : "false");
+  if (!prov.found_period) {
+    out += "}";
+    return out;
+  }
+  out += ",\n\"period\": {\"start_ns\": " + std::to_string(prov.period_start) +
+         ", \"end_ns\": " + std::to_string(prov.period_end) + "},\n";
+  out += "\"local\": {\"n_i\": " + num(prov.local.n_i) +
+         ", \"n_p\": " + num(prov.local.n_p) +
+         ", \"expected\": " + num(prov.local.expected) +
+         ", \"s_i\": " + num(prov.local.s_i) +
+         ", \"s_p\": " + num(prov.local.s_p) +
+         ", \"emitted_local\": " + (prov.emitted_local ? "true" : "false") +
+         ", \"propagated\": " + (prov.propagated ? "true" : "false") + "},\n";
+  out += "\"steps\": [";
+  for (std::size_t si = 0; si < prov.steps.size(); ++si) {
+    const PropagationStep& st = prov.steps[si];
+    if (si > 0) out += ",";
+    out += "\n{\"index\": " + std::to_string(si) +
+           ", \"parent\": " + std::to_string(st.parent) + ", \"node\": ";
+    node_json(out, st.node, node_names);
+    out += ", \"depth\": " + std::to_string(st.depth) +
+           ", \"base_score\": " + num(st.base_score) +
+           ", \"period\": {\"start_ns\": " + std::to_string(st.period_start) +
+           ", \"end_ns\": " + std::to_string(st.period_end) + "}" +
+           ", \"r_pkts_per_ns\": " + num(st.r_pkts_per_ns) +
+           ", \"t_exp_ns\": " + num(st.t_exp_ns) +
+           ", \"preset_packets\": " + std::to_string(st.preset_packets) +
+           ", \"preset_skipped\": " + std::to_string(st.preset_skipped) +
+           ", \"attributed\": " + num(st.attributed) +
+           ", \"uncharged\": " + num(st.uncharged) +
+           ", \"residual\": " + num(st.residual);
+    out += ", \"paths\": [";
+    for (std::size_t pi = 0; pi < st.paths.size(); ++pi) {
+      const PathAttribution& p = st.paths[pi];
+      if (pi > 0) out += ", ";
+      out += "{\"path\": [";
+      for (std::size_t ni = 0; ni < p.path.size(); ++ni) {
+        if (ni > 0) out += ", ";
+        node_json(out, p.path[ni], node_names);
+      }
+      out += "], \"packets\": " + std::to_string(p.packets) +
+             ", \"share\": " + num(p.share) + ", \"hops\": [";
+      for (std::size_t hi = 0; hi < p.hops.size(); ++hi) {
+        const HopAttribution& h = p.hops[hi];
+        if (hi > 0) out += ", ";
+        out += "{\"node\": ";
+        node_json(out, h.node, node_names);
+        out += ", \"timespan_ns\": " + num(h.timespan_ns) +
+               ", \"score\": " + num(h.score) + "}";
+      }
+      out += "]}";
+    }
+    out += "], \"culprits\": [";
+    for (std::size_t ci = 0; ci < st.culprits.size(); ++ci) {
+      const CulpritAttribution& c = st.culprits[ci];
+      if (ci > 0) out += ", ";
+      out += "{\"node\": ";
+      node_json(out, c.node, node_names);
+      out += ", \"kind\": \"" + to_string(c.kind) + "\", \"score\": " +
+             num(c.score) + ", \"outcome\": \"" + to_string(c.outcome) + "\"";
+      if (c.outcome == AttributionOutcome::kRecursed) {
+        out += ", \"sub_s_i\": " + num(c.sub_s_i) +
+               ", \"sub_s_p\": " + num(c.sub_s_p) +
+               ", \"local_part\": " + num(c.local_part) +
+               ", \"input_part\": " + num(c.input_part) +
+               ", \"child_step\": " + std::to_string(c.child_step);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n]}";
+  return out;
+}
+
+}  // namespace microscope::core

@@ -6,6 +6,7 @@
 
 #include "common/stats.hpp"
 #include "core/diagnosis.hpp"
+#include "obs/tracing.hpp"
 
 namespace microscope::core {
 
@@ -79,6 +80,8 @@ std::vector<Victim> Diagnoser::latency_victims_by_percentile(double pct) const {
 
 std::vector<Victim> Diagnoser::latency_victims_by_threshold(
     DurationNs threshold) const {
+  const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
+  obs::TraceSpan span("core", "victims.latency");
   const auto stats = hop_stats(*rt_);
   std::vector<Victim> out;
   for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
@@ -89,10 +92,13 @@ std::vector<Victim> Diagnoser::latency_victims_by_threshold(
     if (v.node == kInvalidNode) continue;
     out.push_back(v);
   }
+  span.set_items(out.size());
   return out;
 }
 
 std::vector<Victim> Diagnoser::drop_victims() const {
+  const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
+  obs::TraceSpan span("core", "victims.drops");
   std::vector<Victim> out;
   for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
     const Journey& j = rt_->journey(jid);
@@ -107,10 +113,13 @@ std::vector<Victim> Diagnoser::drop_victims() const {
     v.time = j.hops.back().arrival;
     out.push_back(v);
   }
+  span.set_items(out.size());
   return out;
 }
 
 std::vector<Victim> Diagnoser::in_nf_delay_victims(DurationNs threshold) const {
+  const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
+  obs::TraceSpan span("core", "victims.in_nf_delay");
   std::vector<Victim> out;
   for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
     const Journey& j = rt_->journey(jid);
@@ -129,12 +138,15 @@ std::vector<Victim> Diagnoser::in_nf_delay_victims(DurationNs threshold) const {
       out.push_back(v);
     }
   }
+  span.set_items(out.size());
   return out;
 }
 
 std::vector<Victim> Diagnoser::throughput_victims(const FiveTuple& flow,
                                                   DurationNs window,
                                                   double min_rate_pps) const {
+  const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
+  obs::TraceSpan span("core", "victims.throughput");
   // Bucket the flow's deliveries into fixed windows; packets inside
   // under-rate windows become victims.
   struct Entry {
@@ -171,6 +183,7 @@ std::vector<Victim> Diagnoser::throughput_victims(const FiveTuple& flow,
     }
     i = jdx;
   }
+  span.set_items(out.size());
   return out;
 }
 

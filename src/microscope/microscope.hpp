@@ -24,7 +24,9 @@
 #include "common/stats.hpp"
 #include "common/time.hpp"
 
+#include "obs/build_info.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
 
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +53,7 @@
 
 #include "core/diagnosis.hpp"
 #include "core/period.hpp"
+#include "core/provenance.hpp"
 #include "core/relation.hpp"
 #include "core/timespan.hpp"
 

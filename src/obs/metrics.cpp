@@ -225,6 +225,9 @@ void register_pipeline_metrics(Registry& reg) {
   reg.histogram("core.diagnose.ns");
   reg.histogram("core.diagnose.depth", depth_bounds());
   reg.histogram("core.diagnose.relation_score", score_bounds());
+  // Conservation check: accumulated |rounding error| between each
+  // propagated S_i and the sum of the shares handed out for it.
+  reg.gauge("core.diagnosis.attribution_residual");
   // Stage 5: online streaming engine.
   reg.counter("online.batches_ingested");
   reg.counter("online.packets_ingested");

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
 
 namespace microscope::online {
 
@@ -111,6 +112,7 @@ void OnlineEngine::set_wire_framing(collector::WireFraming framing) {
 
 std::size_t OnlineEngine::drain_ring(collector::RingCollector& ring,
                                      std::size_t max_bytes) {
+  obs::TraceSpan span("collector", "drain");
   std::byte buf[4096];
   std::size_t total = 0;
   while (total < max_bytes) {
@@ -123,6 +125,7 @@ std::size_t OnlineEngine::drain_ring(collector::RingCollector& ring,
   stats_.ring_dropped_records = ring.dropped_records();
   OnlineMetrics::get().ring_dropped_records.set(
       static_cast<double>(stats_.ring_dropped_records));
+  span.set_items(total);
   return total;
 }
 
@@ -133,6 +136,19 @@ void OnlineEngine::ingest(collector::Direction dir, NodeId node, NodeId peer,
   // wedge every later window behind a drop.
   OnlineMetrics& m = OnlineMetrics::get();
   wm_.note(node, ts);
+  // Window-open lifecycle instants: the first record whose timestamp lands
+  // in a not-yet-announced window opens it (mirrors WindowManager, which
+  // also derives the window index as ts / window_ns).
+  if (obs::TraceRecorder::global().enabled() && ts >= 0) {
+    const std::int64_t w = ts / opts_.window_ns;
+    if (trace_opened_through_ < 0) trace_opened_through_ = w - 1;
+    while (trace_opened_through_ < w) {
+      ++trace_opened_through_;
+      const auto scope =
+          obs::CorrelationScope::for_window(trace_opened_through_);
+      obs::trace_instant("online", "window.open");
+    }
+  }
   if (wm_.closed_end() != WindowManager::kWatermarkNone &&
       ts < wm_.closed_end()) {
     ++stats_.late_dropped_batches;
@@ -174,14 +190,20 @@ std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
       wm_.min_watermark() != WindowManager::kWatermarkNone) {
     m.watermark_lag_ns.set(
         static_cast<double>(wm_.global_watermark() - wm_.min_watermark()));
+    obs::trace_instant("online", "watermark",
+                       static_cast<std::uint64_t>(wm_.global_watermark()));
   }
   std::vector<WindowResult> out;
   WindowBounds b;
   while (wm_.next_closable(b, finishing)) {
+    const auto wscope = obs::CorrelationScope::for_window(b.index);
+    obs::TraceSpan wspan("online", "window.close");
     obs::ScopedTimer close_timer(m.window_close_ns);
     WindowResult res = diagnose_window(b);
     agg_.ingest(res.diagnoses);
     close_timer.stop();
+    wspan.set_items(res.diagnoses.size());
+    wspan.stop();
     ++stats_.windows_closed;
     m.windows_closed.add();
     if (b.idle_forced) {
@@ -222,7 +244,11 @@ WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
       trace::reconstruct(col, graph_, opts_.reconstruct);
   res.journeys = rt.journeys().size();
 
-  core::Diagnoser diag(rt, peak_rates_, opts_.diagnoser);
+  // The window id rides through options because diagnose_all fans out to
+  // pool threads, out of reach of this thread's correlation scope.
+  core::DiagnoserOptions dopts = opts_.diagnoser;
+  dopts.trace_window = b.index;
+  core::Diagnoser diag(rt, peak_rates_, dopts);
   std::vector<core::Victim> victims;
   auto keep = [&](const core::Victim& v) {
     return v.time >= b.start && v.time < b.end;

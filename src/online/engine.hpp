@@ -185,6 +185,8 @@ class OnlineEngine {
   StreamingAggregator agg_;
   collector::WireCallbackDecoder decoder_;
   OnlineStats stats_;
+  /// Highest window index announced with a "window.open" trace instant.
+  std::int64_t trace_opened_through_{-1};
 };
 
 }  // namespace microscope::online

@@ -6,6 +6,7 @@
 
 #include "collector/file.hpp"
 #include "collector/records.hpp"
+#include "obs/tracing.hpp"
 
 namespace microscope::online {
 
@@ -144,12 +145,14 @@ void TraceFileTailer::try_parse_header() {
 
 std::size_t TraceFileTailer::pump(std::size_t max_bytes) {
   if (max_bytes == 0) return 0;
+  obs::TraceSpan span("collector", "drain");
   std::vector<std::byte> chunk(max_bytes);
   is_.clear();  // recover from a previous EOF: the file may have grown
   is_.read(reinterpret_cast<char*>(chunk.data()),
            static_cast<std::streamsize>(chunk.size()));
   const auto got = static_cast<std::size_t>(is_.gcount());
   if (got == 0) return 0;
+  span.set_items(got);
   if (!header_done_) {
     header_buf_.insert(header_buf_.end(), chunk.begin(), chunk.begin() + got);
     try_parse_header();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
 
 namespace microscope::trace {
 namespace {
@@ -50,7 +51,9 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
                                      AlignStats* stats,
                                      ThreadPool* pool,
                                      const ParallelOptions& par) {
+  obs::TraceSpan span("trace", "align");
   const std::size_t n = graph.node_count();
+  span.set_items(n);
   std::vector<NodeAlignment> out(n);
   // Per-node stat shards, merged in node-id order at the end.
   std::vector<AlignStats> node_stats(n);

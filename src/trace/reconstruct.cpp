@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
 
 namespace microscope::trace {
 
@@ -85,6 +86,7 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
                                const ReconstructOptions& opts) {
   obs::Registry& reg = obs::Registry::global();
   reg.counter("trace.reconstruct.runs").add();
+  obs::TraceSpan span("trace", "reconstruct");
   obs::ScopedTimer total_timer(reg.histogram("trace.reconstruct.total_ns"));
   ReconstructedTrace rt(graph, opts);
   const auto pool = ThreadPool::make(opts.parallel);
@@ -359,6 +361,7 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
       if (j.fate == Fate::kTruncated) ++truncated;
     reg.counter("trace.reconstruct.truncated_journeys").add(truncated);
   }
+  span.set_items(rt.journeys_.size());
 
   return rt;
 }
