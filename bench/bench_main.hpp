@@ -29,7 +29,16 @@ inline std::string bench_out_path(const std::string& name) {
 /// Implemented by injecting --benchmark_out flags so benchmark's own file
 /// plumbing does the writing; an explicit --benchmark_out on the command
 /// line wins. Console output is unchanged.
+#ifndef MICROSCOPE_BENCH_BUILD_TYPE
+#define MICROSCOPE_BENCH_BUILD_TYPE "unknown"
+#endif
+
 inline int run_bench_main(const std::string& name, int argc, char** argv) {
+  // Stamp the compile-time build type into the JSON report's context so
+  // the regression checker can refuse cross-build-type comparisons (a
+  // RelWithDebInfo run against a Release baseline is pure noise).
+  ::benchmark::AddCustomContext("microscope_build_type",
+                                MICROSCOPE_BENCH_BUILD_TYPE);
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i)

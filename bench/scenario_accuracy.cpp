@@ -1,0 +1,151 @@
+// Scenario-family accuracy figure: culprit precision/recall on the three
+// generated scenario families (deep-DAG propagation on a 200-NF topology,
+// Dapper-style connection stalls, NFork-style mid-run scale-out) scored
+// against the injection oracle. The paper's Fig. 11 equivalent for
+// synthetic topologies: the 0.7 rank-1 bar from the Fig. 10 chain must
+// survive topology generalization. Machine-readable results land in
+// $MICROSCOPE_BENCH_OUT_DIR (or cwd) / ACCURACY_scenarios.json.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+namespace {
+
+struct Row {
+  std::string name;
+  eval::AccuracySummary acc;
+};
+
+template <typename Run>
+std::vector<eval::VictimRank> score(const Run& run, core::Diagnoser& diag,
+                                    const std::vector<core::Victim>& victims) {
+  eval::Oracle oracle(run.injections);
+  std::vector<eval::VictimRank> out;
+  for (const core::Victim& v : victims) {
+    const auto exp = oracle.expected_for(v.time);
+    if (!exp) continue;
+    out.push_back({exp->injection, eval::microscope_rank(diag.diagnose(v), *exp)});
+  }
+  return out;
+}
+
+Row deep_dag_row() {
+  eval::DeepDagOptions opts;
+  opts.gen.num_nfs = 200;
+  opts.gen.layers = 8;
+  opts.gen.target_utilization = 0.35;
+  opts.gen.utilization_spread = 0.05;
+  opts.traffic.duration =
+      static_cast<DurationNs>(150'000'000.0 * bench::bench_scale());
+  opts.traffic.rate_mpps = 1.0;
+  opts.traffic.num_flows = 2000;
+  opts.traffic.zipf_skew = 0.6;
+  opts.interrupts = 6;
+  opts.interrupt_min = 3_ms;
+  opts.interrupt_max = 6_ms;
+  opts.first_at = 15_ms;
+  opts.spacing = 24_ms;
+  opts.min_target_layer = 3;
+  opts.seed = 5;
+  const eval::DeepDagRun run = eval::run_deep_dag(opts);
+  const auto rt = run.reconstruct();
+  core::Diagnoser diag(rt, run.peak_rates());
+  const auto per =
+      score(run, diag, diag.latency_victims_by_percentile(99.9));
+  return {"deep_dag_200nf", eval::summarize_accuracy(per, run.injections)};
+}
+
+Row connection_stall_row() {
+  eval::StallOptions opts;
+  opts.gen.num_nfs = 60;
+  opts.gen.layers = 5;
+  opts.connections = 12;
+  opts.conn_rate_mpps = 0.01;
+  opts.background.duration =
+      static_cast<DurationNs>(120'000'000.0 * bench::bench_scale());
+  opts.background.rate_mpps = 0.6;
+  opts.background.num_flows = 1200;
+  opts.interrupts = 3;
+  opts.interrupt_min = 1500_us;
+  opts.interrupt_max = 2500_us;
+  opts.first_at = 25_ms;
+  opts.spacing = 30_ms;
+  opts.seed = 9;
+  const eval::StallRun run = eval::run_connection_stall(opts);
+  const auto rt = run.reconstruct();
+  core::Diagnoser diag(rt, run.peak_rates());
+  std::vector<core::Victim> monitored;
+  for (const core::Victim& v : diag.connection_stall_victims(1_ms))
+    for (const FiveTuple& ft : run.connections)
+      if (v.flow == ft) {
+        monitored.push_back(v);
+        break;
+      }
+  const auto per = score(run, diag, monitored);
+  return {"connection_stall", eval::summarize_accuracy(per, run.injections)};
+}
+
+Row failover_row() {
+  eval::FailoverOptions opts;
+  opts.traffic.duration =
+      static_cast<DurationNs>(150'000'000.0 * bench::bench_scale());
+  opts.traffic.rate_mpps = 1.0;
+  opts.traffic.num_flows = 1500;
+  opts.event_at = 60_ms;
+  opts.fail_primary = false;
+  opts.interrupts_before = 2;
+  opts.interrupts_after = 2;
+  opts.seed = 11;
+  const eval::FailoverRun run = eval::run_failover(opts);
+  const auto rt = run.reconstruct();
+  core::Diagnoser diag(rt, run.peak_rates());
+  const auto per =
+      score(run, diag, diag.latency_victims_by_percentile(99.9));
+  return {"failover_scaleout", eval::summarize_accuracy(per, run.injections)};
+}
+
+std::string out_path() {
+  std::string dir = ".";
+  if (const char* d = std::getenv("MICROSCOPE_BENCH_OUT_DIR")) dir = d;
+  return dir + "/ACCURACY_scenarios.json";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Scenario-family accuracy (culprit precision / recall)\n";
+  std::cout << "# baseline: Fig.10 chain rank-1 bar = 0.7 (test_eval)\n\n";
+
+  const std::vector<Row> rows = {deep_dag_row(), connection_stall_row(),
+                                 failover_row()};
+  for (const Row& r : rows) {
+    std::cout << r.name << ": victims=" << r.acc.victims
+              << " rank1=" << r.acc.rank1
+              << " precision=" << eval::fmt_double(r.acc.precision(), 3)
+              << " recall=" << eval::fmt_double(r.acc.recall(), 3) << " ("
+              << r.acc.injections_hit << "/" << r.acc.injections
+              << " injections)\n";
+  }
+
+  std::ofstream os(out_path());
+  os << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "  \"" << r.name << "\": {\"victims\": " << r.acc.victims
+       << ", \"rank1\": " << r.acc.rank1
+       << ", \"injections\": " << r.acc.injections
+       << ", \"injections_hit\": " << r.acc.injections_hit
+       << ", \"precision\": " << r.acc.precision()
+       << ", \"recall\": " << r.acc.recall() << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "}\n";
+  std::cout << "\nwrote " << out_path() << "\n";
+  return 0;
+}

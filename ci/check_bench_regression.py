@@ -10,6 +10,12 @@ MICROSCOPE_BENCH_MAIN (bench/bench_util.hpp). The baseline maps
 "<file-stem>/<benchmark-name>" to a reference cpu_time in nanoseconds.
 A benchmark regresses when its cpu_time exceeds baseline * (1 + threshold).
 
+Reports carry the compile-time build type in their context
+("microscope_build_type", stamped by bench_main.hpp); the baseline records
+it under "__build_type__". A mismatch between the two — or between input
+files — aborts loudly before any comparison: comparing a RelWithDebInfo
+run against a Release baseline measures the compiler, not the change.
+
 Benchmarks missing from the baseline are reported but do not fail the run
 (new benchmarks need --update to be enrolled); baseline entries missing
 from the inputs fail, so silently dropping a benchmark is caught.
@@ -23,9 +29,17 @@ import os
 import sys
 
 
+BUILD_TYPE_KEY = "__build_type__"
+
+
 def load_results(paths):
-    """-> {key: cpu_time_ns}, key = '<file-stem>/<benchmark name>'."""
+    """-> ({key: cpu_time_ns}, build_type).
+
+    key = '<file-stem>/<benchmark name>'. Aborts (exit 2) when the input
+    reports disagree about (or omit) the build type they were compiled as.
+    """
     results = {}
+    build_type = None
     for path in paths:
         stem = os.path.basename(path)
         if stem.startswith("BENCH_"):
@@ -34,13 +48,23 @@ def load_results(paths):
             stem = stem[: -len(".json")]
         with open(path) as f:
             report = json.load(f)
+        bt = report.get("context", {}).get("microscope_build_type")
+        if bt is None:
+            sys.exit(f"ERROR: {path} carries no microscope_build_type "
+                     "context — rebuild the bench (bench_main.hpp stamps "
+                     "it) instead of comparing unidentifiable binaries")
+        if build_type is None:
+            build_type = bt
+        elif bt != build_type:
+            sys.exit(f"ERROR: mixed build types in inputs: {path} is "
+                     f"'{bt}' but earlier files are '{build_type}'")
         for bench in report.get("benchmarks", []):
             # Skip aggregate rows (mean/median/stddev of repetitions).
             if bench.get("run_type") == "aggregate":
                 continue
             ns = to_ns(bench["cpu_time"], bench.get("time_unit", "ns"))
             results[f"{stem}/{bench['name']}"] = ns
-    return results
+    return results, build_type
 
 
 def to_ns(value, unit):
@@ -67,23 +91,34 @@ def main():
     ap.add_argument("results", nargs="+", help="BENCH_*.json files")
     args = ap.parse_args()
 
-    results = load_results(args.results)
+    results, build_type = load_results(args.results)
     if not results:
         sys.exit("no benchmark entries found in the given files")
 
     if args.update:
+        entries = {k: round(v, 1) for k, v in sorted(results.items())}
+        entries[BUILD_TYPE_KEY] = build_type
         with open(args.baseline, "w") as f:
-            json.dump(
-                {k: round(v, 1) for k, v in sorted(results.items())},
-                f,
-                indent=2,
-            )
+            json.dump(entries, f, indent=2, sort_keys=True)
             f.write("\n")
-        print(f"baseline updated: {len(results)} entries -> {args.baseline}")
+        print(f"baseline updated: {len(results)} entries "
+              f"({build_type}) -> {args.baseline}")
         return 0
 
     with open(args.baseline) as f:
         baseline = json.load(f)
+
+    baseline_bt = baseline.pop(BUILD_TYPE_KEY, None)
+    if baseline_bt is None:
+        sys.exit(f"ERROR: baseline {args.baseline} records no "
+                 f"{BUILD_TYPE_KEY} — regenerate it with --update from a "
+                 "Release build")
+    if baseline_bt != build_type:
+        sys.exit(f"ERROR: build-type mismatch: results are '{build_type}' "
+                 f"but baseline {args.baseline} is '{baseline_bt}'. "
+                 "Cross-build-type timings are not comparable; rebuild "
+                 f"with -DCMAKE_BUILD_TYPE={baseline_bt} (or regenerate "
+                 "the baseline with --update)")
 
     failures = []
     new = []

@@ -69,6 +69,16 @@ class Diagnoser {
                                          DurationNs window,
                                          double min_rate_pps) const;
 
+  /// Per-connection TCP stall victims (Dapper's connection-level lens):
+  /// group delivered TCP journeys by flow and flag a packet whose delivery
+  /// gap to the flow's previous delivery exceeds `stall_gap` while the
+  /// source-side send gap stayed below `stall_gap / 4` (the sender kept
+  /// transmitting, so the stall happened inside the NF graph). Flows with
+  /// fewer than `min_packets` deliveries are skipped. The victim is
+  /// anchored at its worst hop, so the normal queue-based diagnosis runs.
+  std::vector<Victim> connection_stall_victims(
+      DurationNs stall_gap, std::size_t min_packets = 4) const;
+
   /// §7 "problems not caused by long queues": packets whose delay *inside*
   /// an NF (tx timestamp - rx timestamp, minus their share of the batch)
   /// exceeds `threshold` — NF misbehaviour, reported directly against that

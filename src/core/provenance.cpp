@@ -41,6 +41,8 @@ const char* victim_kind_str(Victim::Kind k) {
       return "low-throughput";
     case Victim::Kind::kInNfDelay:
       return "in-nf-delay";
+    case Victim::Kind::kConnectionStall:
+      return "connection-stall";
   }
   return "?";
 }

@@ -48,6 +48,11 @@ struct Victim {
     /// misbehaving rather than a long queue. Not diagnosed through queues;
     /// reported directly against the NF.
     kInNfDelay,
+    /// Dapper-style per-connection stall: a TCP flow's delivery stream
+    /// opened a gap far larger than its send gap — the connection stalled
+    /// inside the NF graph. Anchored like a latency victim at the packet
+    /// that closed the gap, so queue-based diagnosis applies.
+    kConnectionStall,
   };
 
   std::uint32_t journey{0};

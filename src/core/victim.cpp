@@ -117,6 +117,55 @@ std::vector<Victim> Diagnoser::drop_victims() const {
   return out;
 }
 
+std::vector<Victim> Diagnoser::connection_stall_victims(
+    DurationNs stall_gap, std::size_t min_packets) const {
+  const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
+  obs::TraceSpan span("core", "victims.connection_stall");
+  // Delivered TCP packets grouped per connection (pre-NAT five-tuple).
+  struct Entry {
+    std::uint32_t jid;
+    TimeNs sent;
+    TimeNs done;
+  };
+  std::unordered_map<FiveTuple, std::vector<Entry>, FiveTupleHash> conns;
+  for (std::uint32_t jid = 0; jid < rt_->journeys().size(); ++jid) {
+    const Journey& j = rt_->journey(jid);
+    if (j.fate != Fate::kDelivered) continue;
+    if (j.flow.proto != static_cast<std::uint8_t>(IpProto::kTcp)) continue;
+    conns[j.flow].push_back({jid, j.source_time, j.hops.back().depart});
+  }
+
+  const auto stats = hop_stats(*rt_);
+  std::vector<Victim> out;
+  for (auto& [flow, pkts] : conns) {
+    if (pkts.size() < min_packets) continue;
+    std::sort(pkts.begin(), pkts.end(),
+              [](const Entry& a, const Entry& b) { return a.done < b.done; });
+    for (std::size_t i = 1; i < pkts.size(); ++i) {
+      const DurationNs done_gap = pkts[i].done - pkts[i - 1].done;
+      if (done_gap < stall_gap) continue;
+      // The sender kept going: the stall is the network's fault, not an
+      // idle connection. Compare source-side spacing over the same pair.
+      const DurationNs sent_gap = std::max<DurationNs>(
+          0, pkts[i].sent - pkts[i - 1].sent);
+      if (sent_gap > stall_gap / 4) continue;
+      Victim v = victim_at_worst_hop(*rt_, pkts[i].jid, stats,
+                                     opts_.abnormal_stddev_k);
+      if (v.node == kInvalidNode) continue;
+      v.kind = Victim::Kind::kConnectionStall;
+      v.hop_latency = std::max(v.hop_latency, done_gap);
+      out.push_back(v);
+    }
+  }
+  // Deterministic output order regardless of hash-map iteration.
+  std::sort(out.begin(), out.end(), [](const Victim& a, const Victim& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.journey < b.journey;
+  });
+  span.set_items(out.size());
+  return out;
+}
+
 std::vector<Victim> Diagnoser::in_nf_delay_victims(DurationNs threshold) const {
   const auto wscope = obs::CorrelationScope::for_window(opts_.trace_window);
   obs::TraceSpan span("core", "victims.in_nf_delay");

@@ -32,6 +32,8 @@ const char* victim_kind_str(core::Victim::Kind k) {
       return "low-throughput";
     case core::Victim::Kind::kInNfDelay:
       return "in-nf-delay";
+    case core::Victim::Kind::kConnectionStall:
+      return "connection-stall";
   }
   return "?";
 }

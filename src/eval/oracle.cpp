@@ -68,6 +68,26 @@ double rank1_fraction(const std::vector<int>& ranks) {
   return static_cast<double>(hits) / static_cast<double>(ranks.size());
 }
 
+AccuracySummary summarize_accuracy(const std::vector<VictimRank>& per_victim,
+                                   const nf::InjectionLog& log) {
+  AccuracySummary s;
+  s.victims = per_victim.size();
+  std::vector<std::uint32_t> hit;
+  for (const VictimRank& vr : per_victim) {
+    if (vr.rank != 1) continue;
+    ++s.rank1;
+    hit.push_back(vr.injection);
+  }
+  std::sort(hit.begin(), hit.end());
+  hit.erase(std::unique(hit.begin(), hit.end()), hit.end());
+  for (const nf::Injection& inj : log.all()) {
+    if (inj.type == nf::FaultType::kNaturalInterrupt) continue;
+    ++s.injections;
+    if (std::binary_search(hit.begin(), hit.end(), inj.id)) ++s.injections_hit;
+  }
+  return s;
+}
+
 std::vector<double> rank_cdf(const std::vector<int>& ranks, int max_rank) {
   std::vector<double> out(static_cast<std::size_t>(max_rank), 0.0);
   if (ranks.empty()) return out;

@@ -56,4 +56,39 @@ double rank1_fraction(const std::vector<int>& ranks);
 /// misses (rank 0) never count.
 std::vector<double> rank_cdf(const std::vector<int>& ranks, int max_rank);
 
+/// One attributable victim's scoring: which injection the oracle expected,
+/// and the rank the tool gave that injection's culprit (0 = missed).
+struct VictimRank {
+  std::uint32_t injection{0};
+  int rank{0};
+};
+
+/// Two-sided accuracy for a scenario run. Precision is per victim (how
+/// often the true culprit is rank 1); recall is per injection (how many of
+/// the injected problems were pinned by at least one rank-1 victim — an
+/// injection that produces no rank-1 victim is a miss even if it produced
+/// no victims at all).
+struct AccuracySummary {
+  std::size_t victims{0};         // attributable victims scored
+  std::size_t rank1{0};           // of those, rank-1 diagnoses
+  std::size_t injections{0};      // non-noise injections in the log
+  std::size_t injections_hit{0};  // with at least one rank-1 victim
+
+  double precision() const {
+    return victims == 0 ? 0.0
+                        : static_cast<double>(rank1) /
+                              static_cast<double>(victims);
+  }
+  double recall() const {
+    return injections == 0 ? 0.0
+                           : static_cast<double>(injections_hit) /
+                                 static_cast<double>(injections);
+  }
+};
+
+/// Fold per-victim scores against the full injection log. Every non-noise
+/// injection in `log` counts toward the recall denominator.
+AccuracySummary summarize_accuracy(const std::vector<VictimRank>& per_victim,
+                                   const nf::InjectionLog& log);
+
 }  // namespace microscope::eval

@@ -1,6 +1,10 @@
 #include "eval/scenarios.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "common/rng.hpp"
 
 namespace microscope::eval {
 
@@ -243,6 +247,237 @@ Fig3Net build_fig3(sim::Simulator& sim, collector::Collector* col) {
   topo.add_edge(net.flow_a_source, net.vpn);
   topo.add_edge(net.vpn, topo.sink_id());
   return net;
+}
+
+namespace {
+
+trace::ReconstructedTrace reconstruct_net(const collector::Collector& col,
+                                          const nf::Topology& topo,
+                                          DurationNs prop_delay) {
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = prop_delay;
+  return trace::reconstruct(col, trace::graph_view(topo), ropt);
+}
+
+/// Natural noise at uneven per-instance rates (the run_experiment idiom).
+void schedule_noise_all(sim::Simulator& sim, nf::Topology& topo,
+                        const std::vector<NodeId>& nfs,
+                        const nf::NoiseOptions& noise, TimeNs t_end,
+                        std::uint64_t seed, nf::InjectionLog& log) {
+  for (const NodeId id : nfs) {
+    nf::NoiseOptions nopt = noise;
+    Rng nr(seed ^ (id * 0x51ED2701ULL));
+    nopt.interrupts_per_sec *= 0.5 + 1.5 * nr.uniform01();
+    nopt.seed = seed ^ (id * 40503ULL);
+    nf::schedule_natural_noise(sim, topo.nf(id), nopt, t_end, log);
+  }
+}
+
+}  // namespace
+
+trace::ReconstructedTrace DeepDagRun::reconstruct() const {
+  return reconstruct_net(*collector, *net.topo, net.opts.prop_delay);
+}
+
+DeepDagRun run_deep_dag(const DeepDagOptions& opts) {
+  DeepDagRun run;
+  run.sim = std::make_unique<sim::Simulator>();
+  run.collector = std::make_unique<collector::Collector>(opts.collector);
+
+  nf::TopologyGenOptions gopt = opts.gen;
+  gopt.offered_rate_mpps = opts.traffic.rate_mpps;
+  run.net = nf::generate_topology(*run.sim, run.collector.get(), gopt);
+  nf::Topology& topo = *run.net.topo;
+
+  Rng rng(opts.seed ^ 0xDEE9DA6ULL);
+  nf::CaidaLikeOptions topts = opts.traffic;
+  if (topts.seed == 0) topts.seed = opts.seed;
+  std::vector<nf::SourcePacket> trace = nf::generate_caida_like(topts);
+
+  // Interrupt targets sit deep in the DAG so attribution has to recurse
+  // through the upstream ranks to reach them from edge-NF victims.
+  std::vector<NodeId> deep;
+  const std::size_t from_layer =
+      std::min(opts.min_target_layer, run.net.depth() - 1);
+  for (std::size_t l = from_layer; l < run.net.depth(); ++l)
+    deep.insert(deep.end(), run.net.layers[l].begin(),
+                run.net.layers[l].end());
+
+  TimeNs t = opts.first_at;
+  for (int i = 0; i < opts.interrupts; ++i) {
+    if (t >= topts.duration - 10_ms) break;
+    const NodeId target = deep[rng.uniform_u64(deep.size())];
+    const auto len = static_cast<DurationNs>(
+        rng.uniform_i64(opts.interrupt_min, opts.interrupt_max));
+    nf::schedule_interrupt(*run.sim, topo.nf(target), t, len, run.injections,
+                           nf::FaultType::kInterrupt);
+    t += opts.spacing;
+  }
+
+  if (opts.natural_noise)
+    schedule_noise_all(*run.sim, topo, run.net.all_nfs(), opts.noise,
+                       topts.duration, opts.seed, run.injections);
+
+  topo.source(run.net.source).set_network(run.net.topo.get());
+  topo.source(run.net.source).load(std::move(trace));
+  run.sim->run_until(topts.duration + opts.drain);
+  return run;
+}
+
+trace::ReconstructedTrace StallRun::reconstruct() const {
+  return reconstruct_net(*collector, *net.topo, net.opts.prop_delay);
+}
+
+StallRun run_connection_stall(const StallOptions& opts) {
+  StallRun run;
+  run.sim = std::make_unique<sim::Simulator>();
+  run.collector = std::make_unique<collector::Collector>(opts.collector);
+
+  nf::TopologyGenOptions gopt = opts.gen;
+  gopt.offered_rate_mpps =
+      opts.background.rate_mpps +
+      static_cast<double>(opts.connections) * opts.conn_rate_mpps;
+  run.net = nf::generate_topology(*run.sim, run.collector.get(), gopt);
+  nf::Topology& topo = *run.net.topo;
+
+  Rng rng(opts.seed ^ 0x57A11EDULL);
+  nf::CaidaLikeOptions bopt = opts.background;
+  if (bopt.seed == 0) bopt.seed = opts.seed;
+  std::vector<nf::SourcePacket> trace = nf::generate_caida_like(bopt);
+
+  // Long-lived constant-rate TCP connections (the Dapper-style monitored
+  // traffic); their steady delivery cadence is what an interrupt stalls.
+  for (std::size_t c = 0; c < opts.connections; ++c) {
+    FiveTuple ft;
+    ft.src_ip = make_ipv4(10, 50, static_cast<std::uint32_t>(c / 200),
+                          static_cast<std::uint32_t>(c % 200 + 1));
+    ft.dst_ip = make_ipv4(172, 30, 0, static_cast<std::uint32_t>(c % 250 + 1));
+    ft.src_port = static_cast<std::uint16_t>(20000 + c);
+    ft.dst_port = 443;
+    ft.proto = static_cast<std::uint8_t>(IpProto::kTcp);
+    run.connections.push_back(ft);
+    trace = nf::merge_traces(
+        std::move(trace),
+        nf::generate_constant_rate(ft, 0, bopt.duration, opts.conn_rate_mpps));
+  }
+
+  // Interrupts land on NFs the monitored connections actually traverse
+  // (generated switches keep the five-tuple, so path_of is exact).
+  std::vector<NodeId> on_path;
+  std::unordered_set<NodeId> seen;
+  for (const FiveTuple& ft : run.connections)
+    for (const NodeId id : run.net.path_of(ft))
+      if (seen.insert(id).second) on_path.push_back(id);
+  if (on_path.empty())
+    throw std::logic_error("run_connection_stall: no on-path NFs");
+
+  TimeNs t = opts.first_at;
+  for (int i = 0; i < opts.interrupts; ++i) {
+    if (t >= bopt.duration - 10_ms) break;
+    const NodeId target = on_path[rng.uniform_u64(on_path.size())];
+    const auto len = static_cast<DurationNs>(
+        rng.uniform_i64(opts.interrupt_min, opts.interrupt_max));
+    nf::schedule_interrupt(*run.sim, topo.nf(target), t, len, run.injections,
+                           nf::FaultType::kInterrupt);
+    t += opts.spacing;
+  }
+
+  topo.source(run.net.source).set_network(run.net.topo.get());
+  topo.source(run.net.source).load(std::move(trace));
+  run.sim->run_until(bopt.duration + opts.drain);
+  return run;
+}
+
+trace::ReconstructedTrace FailoverRun::reconstruct() const {
+  return reconstruct_net(*collector, *net.topo, net.opts.prop_delay);
+}
+
+FailoverRun run_failover(const FailoverOptions& opts) {
+  FailoverRun run;
+  run.sim = std::make_unique<sim::Simulator>();
+  run.collector = std::make_unique<collector::Collector>(opts.collector);
+  run.net = build_fig10(*run.sim, run.collector.get(), opts.topo);
+  run.event_at = opts.event_at;
+  nf::Topology& topo = *run.net.topo;
+
+  // The spare NAT exists (and is wired) from t=0 — NFork provisions the
+  // replica before shifting traffic — but receives nothing until the LB
+  // swap because the source router doesn't list it yet.
+  NfConfig cfg;
+  cfg.name = "nat" + std::to_string(opts.topo.nats + 1);
+  cfg.base_service_ns = opts.topo.nat_service;
+  cfg.jitter_sigma = opts.topo.jitter_sigma;
+  cfg.seed = opts.topo.seed * 131 + opts.topo.nats;
+  cfg.record_busy_intervals = opts.topo.record_busy;
+  run.spare = topo.add_nat(cfg, nat_public_ip(opts.topo.nats)).id();
+  topo.add_edge(run.net.source, run.spare);
+  topo.nf(run.spare).set_router(nf::make_lb_router(run.net.firewalls, kSaltFw));
+  for (const NodeId fw : run.net.firewalls) topo.add_edge(run.spare, fw);
+
+  Rng rng(opts.seed ^ 0xFA170FE2ULL);
+  nf::CaidaLikeOptions topts = opts.traffic;
+  if (topts.seed == 0) topts.seed = opts.seed;
+  std::vector<nf::SourcePacket> trace = nf::generate_caida_like(topts);
+
+  // The resharding event: swap the source's LB tier mid-run. Scale-out
+  // widens the tier; failover replaces the primary (which wedges — its
+  // pause outlasts the run, so queued packets never drain).
+  std::vector<NodeId> tier = run.net.nats;
+  if (opts.fail_primary) tier.erase(tier.begin());
+  tier.push_back(run.spare);
+  run.sim->schedule_at(
+      opts.event_at, [tp = run.net.topo.get(), src = run.net.source, tier]() {
+        tp->source(src).set_router(nf::make_lb_router(tier, kSaltNat));
+      });
+  if (opts.fail_primary) {
+    const DurationNs wedge = topts.duration + opts.drain - opts.event_at + 1_ms;
+    nf::schedule_interrupt(*run.sim, topo.nf(run.net.nats[0]), opts.event_at,
+                           wedge, run.injections, nf::FaultType::kInterrupt);
+  }
+
+  // Interrupts before the event target the original tier...
+  const std::vector<NodeId> pre_nfs = run.net.all_nfs();
+  TimeNs t = opts.first_at;
+  for (int i = 0; i < opts.interrupts_before; ++i) {
+    if (t >= opts.event_at - 5_ms) break;
+    const NodeId target = pre_nfs[rng.uniform_u64(pre_nfs.size())];
+    const auto len = static_cast<DurationNs>(
+        rng.uniform_i64(opts.interrupt_min, opts.interrupt_max));
+    nf::schedule_interrupt(*run.sim, topo.nf(target), t, len, run.injections,
+                           nf::FaultType::kInterrupt);
+    t += opts.spacing;
+  }
+  // ...and the first post-event interrupt hits the spare itself, so tests
+  // can assert attribution follows the resharded traffic onto a node that
+  // carried nothing before event_at.
+  std::vector<NodeId> post_nfs = pre_nfs;
+  post_nfs.push_back(run.spare);
+  if (opts.fail_primary)
+    post_nfs.erase(
+        std::find(post_nfs.begin(), post_nfs.end(), run.net.nats[0]));
+  t = std::max(t, opts.event_at + 8_ms);
+  for (int i = 0; i < opts.interrupts_after; ++i) {
+    if (t >= topts.duration - 10_ms) break;
+    const NodeId target =
+        i == 0 ? run.spare : post_nfs[rng.uniform_u64(post_nfs.size())];
+    const auto len = static_cast<DurationNs>(
+        rng.uniform_i64(opts.interrupt_min, opts.interrupt_max));
+    nf::schedule_interrupt(*run.sim, topo.nf(target), t, len, run.injections,
+                           nf::FaultType::kInterrupt);
+    t += opts.spacing;
+  }
+
+  if (opts.natural_noise) {
+    std::vector<NodeId> noisy = pre_nfs;
+    noisy.push_back(run.spare);
+    schedule_noise_all(*run.sim, topo, noisy, opts.noise, topts.duration,
+                       opts.seed, run.injections);
+  }
+
+  topo.source(run.net.source).set_network(run.net.topo.get());
+  topo.source(run.net.source).load(std::move(trace));
+  run.sim->run_until(topts.duration + opts.drain);
+  return run;
 }
 
 autofocus::NfCatalog make_catalog(const nf::Topology& topo) {

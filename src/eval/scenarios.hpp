@@ -12,9 +12,13 @@
 #include "autofocus/hierarchy.hpp"
 #include "collector/collector.hpp"
 #include "netmedic/netmedic.hpp"
+#include "nf/generate.hpp"
+#include "nf/inject.hpp"
 #include "nf/topology.hpp"
+#include "nf/traffic.hpp"
 #include "sim/simulator.hpp"
 #include "trace/graph.hpp"
+#include "trace/reconstruct.hpp"
 
 namespace microscope::eval {
 
@@ -92,6 +96,121 @@ struct Fig3Net {
   NodeId vpn{kInvalidNode};
 };
 Fig3Net build_fig3(sim::Simulator& sim, collector::Collector* col);
+
+// --- scenario diversity families (beyond the paper's fixed topologies) ---
+//
+// Three families stress what Fig. 10 cannot: recursion depth on generated
+// DAGs of 100s of NFs, Dapper-style per-connection stall victims, and
+// NFork-style mid-run scale-out/failover with traffic resharding. Each
+// family returns the same shape of handle — sim + collector + injections —
+// so the oracle-based accuracy assertions are uniform across them.
+
+/// Deep-DAG propagation: interrupts injected into a generated DAG so that
+/// diagnosis must recurse through many NF layers to reach rank-1.
+struct DeepDagOptions {
+  nf::TopologyGenOptions gen{};
+  /// Traffic through the DAG. gen.offered_rate_mpps is overridden with
+  /// traffic.rate_mpps so service calibration matches the actual load.
+  nf::CaidaLikeOptions traffic{};
+  int interrupts = 8;
+  DurationNs interrupt_min = 800_us;
+  DurationNs interrupt_max = 1500_us;
+  TimeNs first_at = 15_ms;
+  DurationNs spacing = 12_ms;
+  /// Interrupt targets are drawn from DAG ranks >= this (deep nodes give
+  /// the propagation recursion upstream layers to walk).
+  std::size_t min_target_layer = 1;
+  bool natural_noise = true;
+  nf::NoiseOptions noise{};
+  collector::CollectorOptions collector{};
+  DurationNs drain = 20_ms;
+  std::uint64_t seed = 5;
+};
+
+struct DeepDagRun {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<collector::Collector> collector;
+  nf::GeneratedTopology net;
+  nf::InjectionLog injections;
+
+  trace::ReconstructedTrace reconstruct() const;
+  std::vector<RatePerNs> peak_rates() const { return net.topo->peak_rates(); }
+};
+
+DeepDagRun run_deep_dag(const DeepDagOptions& opts = {});
+
+/// Connection-stall victims: long-lived constant-rate TCP connections ride
+/// a generated DAG next to background traffic; interrupts placed on the
+/// connections' predicted paths stall their delivery streams.
+struct StallOptions {
+  nf::TopologyGenOptions gen{};
+  std::size_t connections = 24;
+  /// Per-connection constant rate (packets); 0.002 = 2 kpps.
+  double conn_rate_mpps = 0.002;
+  nf::CaidaLikeOptions background{};
+  int interrupts = 4;
+  DurationNs interrupt_min = 1500_us;
+  DurationNs interrupt_max = 2500_us;
+  TimeNs first_at = 20_ms;
+  DurationNs spacing = 20_ms;
+  collector::CollectorOptions collector{};
+  DurationNs drain = 20_ms;
+  std::uint64_t seed = 9;
+};
+
+struct StallRun {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<collector::Collector> collector;
+  nf::GeneratedTopology net;
+  nf::InjectionLog injections;
+  /// The monitored TCP connections (pre-NAT five-tuples).
+  std::vector<FiveTuple> connections;
+
+  trace::ReconstructedTrace reconstruct() const;
+  std::vector<RatePerNs> peak_rates() const { return net.topo->peak_rates(); }
+};
+
+StallRun run_connection_stall(const StallOptions& opts = {});
+
+/// NFork-style mid-run scale-out/failover: the Fig. 10 NAT tier gains a
+/// spare instance at event_at (scale-out), or the primary NAT crashes and
+/// the spare replaces it (failover). Either way the source's LB router is
+/// swapped mid-run, resharding most flows, and interrupts land both before
+/// and after the event — including one on the spare itself, so the test
+/// can assert attribution follows the resharded traffic.
+struct FailoverOptions {
+  Fig10Options topo{};
+  nf::CaidaLikeOptions traffic{};
+  TimeNs event_at = 60_ms;
+  /// true: nats[0] crashes at event_at (its queue wedges permanently) and
+  /// the spare takes over; false: the spare joins the tier (scale-out).
+  bool fail_primary = false;
+  int interrupts_before = 2;
+  int interrupts_after = 2;
+  TimeNs first_at = 15_ms;
+  DurationNs spacing = 18_ms;
+  DurationNs interrupt_min = 600_us;
+  DurationNs interrupt_max = 1200_us;
+  bool natural_noise = true;
+  nf::NoiseOptions noise{};
+  collector::CollectorOptions collector{};
+  DurationNs drain = 20_ms;
+  std::uint64_t seed = 11;
+};
+
+struct FailoverRun {
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<collector::Collector> collector;
+  Fig10 net;
+  NodeId spare{kInvalidNode};
+  nf::InjectionLog injections;
+  TimeNs event_at{0};
+
+  trace::ReconstructedTrace reconstruct() const;
+  std::vector<RatePerNs> peak_rates() const { return net.topo->peak_rates(); }
+};
+
+FailoverRun run_failover(const FailoverOptions& opts = {});
 
 /// NF-type names + instance names for pattern aggregation and reports.
 autofocus::NfCatalog make_catalog(const nf::Topology& topo);

@@ -38,6 +38,7 @@
 #include "collector/wire.hpp"
 
 #include "nf/calibrate.hpp"
+#include "nf/generate.hpp"
 #include "nf/inject.hpp"
 #include "nf/nf.hpp"
 #include "nf/nf_types.hpp"

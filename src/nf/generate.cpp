@@ -1,0 +1,278 @@
+#include "nf/generate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace microscope::nf {
+
+namespace {
+
+/// Abstract DAG plan over node indices 0..n-1 (a valid topological order).
+struct Plan {
+  std::size_t n{0};
+  std::vector<std::vector<std::size_t>> targets;  // forward edges
+  std::vector<std::size_t> fanin;                 // incoming edge count
+  std::vector<bool> terminal;                     // routes to the sink
+  std::vector<bool> entry;                        // fed by the source
+};
+
+Plan plan_layered(const TopologyGenOptions& o, Rng& rng) {
+  Plan p;
+  p.n = o.num_nfs;
+  p.targets.resize(p.n);
+  p.fanin.assign(p.n, 0);
+  p.terminal.assign(p.n, false);
+  p.entry.assign(p.n, false);
+
+  // Layer widths: num_nfs spread as evenly as possible over `layers`.
+  std::vector<std::size_t> width(o.layers, o.num_nfs / o.layers);
+  for (std::size_t i = 0; i < o.num_nfs % o.layers; ++i) ++width[i];
+  std::vector<std::size_t> first(o.layers, 0);  // first index of each layer
+  for (std::size_t l = 1; l < o.layers; ++l)
+    first[l] = first[l - 1] + width[l - 1];
+
+  for (std::size_t l = 0; l + 1 < o.layers; ++l) {
+    const std::size_t next_first = first[l + 1];
+    const std::size_t next_w = width[l + 1];
+    for (std::size_t i = 0; i < width[l]; ++i) {
+      const std::size_t node = first[l] + i;
+      const std::size_t want = std::min(
+          next_w, o.min_fanout + rng.uniform_u64(o.max_fanout - o.min_fanout + 1));
+      // Distinct targets in the next layer.
+      std::vector<std::size_t> pool(next_w);
+      for (std::size_t k = 0; k < next_w; ++k) pool[k] = next_first + k;
+      for (std::size_t k = 0; k < want; ++k) {
+        const std::size_t pick = k + rng.uniform_u64(pool.size() - k);
+        std::swap(pool[k], pool[pick]);
+        p.targets[node].push_back(pool[k]);
+        ++p.fanin[pool[k]];
+      }
+      std::sort(p.targets[node].begin(), p.targets[node].end());
+    }
+    // Coverage: every next-layer node needs at least one upstream.
+    for (std::size_t k = 0; k < next_w; ++k) {
+      const std::size_t orphan = next_first + k;
+      if (p.fanin[orphan] > 0) continue;
+      const std::size_t from = first[l] + rng.uniform_u64(width[l]);
+      p.targets[from].insert(
+          std::upper_bound(p.targets[from].begin(), p.targets[from].end(),
+                           orphan),
+          orphan);
+      ++p.fanin[orphan];
+    }
+  }
+  for (std::size_t i = 0; i < width[0]; ++i) p.entry[first[0] + i] = true;
+  for (std::size_t i = 0; i < width[o.layers - 1]; ++i)
+    p.terminal[first[o.layers - 1] + i] = true;
+  return p;
+}
+
+Plan plan_random_dag(const TopologyGenOptions& o, Rng& rng) {
+  Plan p;
+  p.n = o.num_nfs;
+  p.targets.resize(p.n);
+  p.fanin.assign(p.n, 0);
+  p.terminal.assign(p.n, false);
+  p.entry.assign(p.n, false);
+
+  // Forward edges within a bounded reach window; a small window relative
+  // to n makes long chains (deep DAGs), mirroring the layers knob.
+  const std::size_t reach =
+      std::max<std::size_t>(o.max_fanout + 1, p.n / o.layers);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const std::size_t lo = i + 1;
+    if (lo >= p.n) {
+      p.terminal[i] = true;
+      continue;
+    }
+    const std::size_t hi = std::min(p.n, lo + reach);  // targets in [lo, hi)
+    const std::size_t avail = hi - lo;
+    const std::size_t want = std::min(
+        avail, o.min_fanout + rng.uniform_u64(o.max_fanout - o.min_fanout + 1));
+    std::vector<std::size_t> pool(avail);
+    for (std::size_t k = 0; k < avail; ++k) pool[k] = lo + k;
+    for (std::size_t k = 0; k < want; ++k) {
+      const std::size_t pick = k + rng.uniform_u64(pool.size() - k);
+      std::swap(pool[k], pool[pick]);
+      p.targets[i].push_back(pool[k]);
+      ++p.fanin[pool[k]];
+    }
+    std::sort(p.targets[i].begin(), p.targets[i].end());
+  }
+  // Nodes nothing points at are entries; the tail node is always terminal.
+  // A late orphan as an extra entry would get the same 1/|entries| share of
+  // offered load as the real roots, so orphans past the first reach window
+  // are instead wired to a random predecessor.
+  for (std::size_t i = 0; i < p.n; ++i) {
+    if (p.fanin[i] > 0) continue;
+    if (i < reach) {
+      p.entry[i] = true;
+      continue;
+    }
+    const std::size_t from = i - 1 - rng.uniform_u64(std::min(i, reach));
+    p.targets[from].insert(
+        std::upper_bound(p.targets[from].begin(), p.targets[from].end(), i), i);
+    ++p.fanin[i];
+  }
+  if (std::none_of(p.entry.begin(), p.entry.end(), [](bool b) { return b; }))
+    p.entry[0] = true;
+  return p;
+}
+
+}  // namespace
+
+std::vector<NodeId> GeneratedTopology::all_nfs() const {
+  return topo->nf_ids();
+}
+
+namespace {
+
+/// Mirrors make_lb_router's pick (topology.cpp) for path prediction.
+std::size_t lb_pick(const FiveTuple& flow, std::uint64_t salt, std::size_t n) {
+  std::uint64_t h = flow_hash(flow) ^ (salt * 0x9E3779B97F4A7C15ULL);
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h % n);
+}
+
+}  // namespace
+
+std::vector<NodeId> GeneratedTopology::path_of(const FiveTuple& flow) const {
+  std::vector<NodeId> path;
+  NodeId at = source;
+  while (true) {
+    // Routers were built over the node's non-sink downstreams in edge
+    // declaration order; terminal nodes route straight to the sink.
+    std::vector<NodeId> targets;
+    for (const NodeId t : topo->downstreams_of(at))
+      if (t != topo->sink_id()) targets.push_back(t);
+    if (targets.empty()) break;
+    at = targets[lb_pick(flow, router_salt[at], targets.size())];
+    path.push_back(at);
+    if (path.size() > topo->node_count()) break;  // defensive: cycles
+  }
+  return path;
+}
+
+std::size_t GeneratedTopology::layer_of(NodeId id) const {
+  for (std::size_t l = 0; l < layers.size(); ++l)
+    for (const NodeId n : layers[l])
+      if (n == id) return l;
+  throw std::out_of_range("GeneratedTopology::layer_of: not a generated NF");
+}
+
+GeneratedTopology generate_topology(sim::Simulator& sim,
+                                    collector::Collector* col,
+                                    const TopologyGenOptions& opts) {
+  if (opts.num_nfs == 0 || opts.layers == 0 || opts.num_nfs < opts.layers)
+    throw std::invalid_argument("generate_topology: num_nfs < layers");
+  if (opts.min_fanout == 0 || opts.min_fanout > opts.max_fanout)
+    throw std::invalid_argument("generate_topology: bad fanout range");
+  if (opts.offered_rate_mpps <= 0.0)
+    throw std::invalid_argument("generate_topology: offered rate must be > 0");
+
+  Rng rng(opts.seed ^ 0xD1CEB00CULL);
+  Plan plan = opts.shape == GenShape::kLayered ? plan_layered(opts, rng)
+                                               : plan_random_dag(opts, rng);
+
+  // Expected load fraction per abstract node: entries split the offered
+  // load evenly; each node splits its share evenly across its targets
+  // (flow-hash LB is an even split in expectation).
+  std::vector<double> frac(plan.n, 0.0);
+  const std::size_t entries = static_cast<std::size_t>(
+      std::count(plan.entry.begin(), plan.entry.end(), true));
+  for (std::size_t i = 0; i < plan.n; ++i)
+    if (plan.entry[i]) frac[i] = 1.0 / static_cast<double>(entries);
+  for (std::size_t i = 0; i < plan.n; ++i) {
+    if (plan.targets[i].empty()) continue;
+    const double share = frac[i] / static_cast<double>(plan.targets[i].size());
+    for (const std::size_t t : plan.targets[i]) frac[t] += share;
+  }
+
+  GeneratedTopology out;
+  out.opts = opts;
+
+  Topology::Options topt;
+  topt.prop_delay = opts.prop_delay;
+  out.topo = std::make_unique<Topology>(sim, col, topt);
+  Topology& topo = *out.topo;
+  out.source = topo.add_source("gen-src").id();
+
+  // Instantiate nodes with calibrated service times. A node seeing
+  // `frac * offered` pkts/ns runs at utilization `u` with service time
+  // u / arrival_rate; u is drawn per node around the target.
+  const double offered_pkts_per_ns = opts.offered_rate_mpps * 1e-3;
+  std::vector<NodeId> id_of(plan.n, kInvalidNode);
+  for (std::size_t i = 0; i < plan.n; ++i) {
+    const double u = std::clamp(
+        opts.target_utilization +
+            opts.utilization_spread * (2.0 * rng.uniform01() - 1.0),
+        0.05, 0.9);
+    const double arrival = std::max(frac[i], 1e-9) * offered_pkts_per_ns;
+    const auto service = static_cast<DurationNs>(
+        std::clamp(u / arrival, static_cast<double>(opts.min_service_ns),
+                   static_cast<double>(opts.max_service_ns)));
+    NfConfig cfg;
+    cfg.name = "gen" + std::to_string(i + 1);
+    cfg.queue_capacity = opts.queue_capacity;
+    cfg.base_service_ns = service;
+    cfg.jitter_sigma = opts.jitter_sigma;
+    cfg.seed = opts.seed * 167 + i;
+    cfg.record_busy_intervals = opts.record_busy;
+    cfg.record_full_flow = plan.terminal[i];  // edge of the NF graph
+    id_of[i] = topo.add_switch(cfg).id();
+  }
+
+  out.load_fraction.assign(topo.node_count(), 0.0);
+  for (std::size_t i = 0; i < plan.n; ++i)
+    out.load_fraction[id_of[i]] = frac[i];
+
+  // Edges + routing. Salts are derived from the abstract index so routing
+  // is decorrelated between nodes but deterministic under the seed.
+  out.router_salt.assign(topo.node_count(), 0);
+  std::vector<NodeId> entry_ids;
+  for (std::size_t i = 0; i < plan.n; ++i) {
+    if (plan.entry[i]) {
+      topo.add_edge(out.source, id_of[i]);
+      entry_ids.push_back(id_of[i]);
+    }
+    if (plan.terminal[i]) {
+      topo.add_edge(id_of[i], topo.sink_id());
+      out.edge_nfs.push_back(id_of[i]);
+      topo.nf(id_of[i]).set_router(
+          [sink = topo.sink_id()](const Packet&) { return sink; });
+      continue;
+    }
+    std::vector<NodeId> targets;
+    for (const std::size_t t : plan.targets[i]) {
+      topo.add_edge(id_of[i], id_of[t]);
+      targets.push_back(id_of[t]);
+    }
+    out.router_salt[id_of[i]] = opts.seed * 1000 + i;
+    topo.nf(id_of[i]).set_router(
+        make_lb_router(std::move(targets), out.router_salt[id_of[i]]));
+  }
+  out.entry_nfs = entry_ids;
+  out.router_salt[out.source] = opts.seed * 977;
+  topo.source(out.source)
+      .set_router(make_lb_router(std::move(entry_ids), out.router_salt[out.source]));
+
+  // Group nodes by DAG rank (longest distance from the source).
+  std::vector<std::size_t> rank(plan.n, 0);
+  std::size_t max_rank = 0;
+  for (std::size_t i = 0; i < plan.n; ++i) {
+    for (const std::size_t t : plan.targets[i])
+      rank[t] = std::max(rank[t], rank[i] + 1);
+    max_rank = std::max(max_rank, rank[i]);
+  }
+  out.layers.assign(max_rank + 1, {});
+  for (std::size_t i = 0; i < plan.n; ++i)
+    out.layers[rank[i]].push_back(id_of[i]);
+  return out;
+}
+
+}  // namespace microscope::nf

@@ -1,0 +1,96 @@
+// Seeded topology generator: random and layered DAGs of 100s of NFs with
+// calibrated service curves.
+//
+// The paper's evaluation runs on the fixed 16-NF Fig. 10 chain; everything
+// Microscope claims about per-path propagation and culprit accuracy should
+// hold on *any* DAG an operator might deploy. The generator builds such
+// DAGs deterministically from a seed: it plans an abstract layered or
+// random DAG first, propagates the offered load through the planned edges
+// (flow-hash load balancing splits evenly in expectation), then sizes each
+// NF's per-packet service time so the node sits at a target utilization
+// (with per-node spread) under that load — the generated network is busy
+// but stable, so injected faults dominate organic queueing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nf/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace microscope::nf {
+
+enum class GenShape : std::uint8_t {
+  /// Fixed number of fully-connected-in-expectation layers; every path has
+  /// the same hop count (the depth knob for propagation-recursion tests).
+  kLayered,
+  /// Random forward edges over a topological order; variable path lengths,
+  /// multiple entry nodes, skewed fan-in/fan-out.
+  kRandomDag,
+};
+
+struct TopologyGenOptions {
+  GenShape shape = GenShape::kLayered;
+  std::size_t num_nfs = 200;
+  /// kLayered: number of layers (= DAG depth). kRandomDag: controls the
+  /// forward-edge reach window (smaller => deeper DAG).
+  std::size_t layers = 8;
+  std::size_t min_fanout = 1;
+  std::size_t max_fanout = 3;
+
+  /// Aggregate offered load the service curves are calibrated against.
+  double offered_rate_mpps = 1.0;
+  /// Mean per-node utilization the calibration targets.
+  double target_utilization = 0.55;
+  /// Per-node uniform spread around the target (node util in
+  /// [target - spread, target + spread], clamped to [0.05, 0.9]).
+  double utilization_spread = 0.1;
+  /// Calibrated service times are clamped into this range.
+  DurationNs min_service_ns = 60;
+  DurationNs max_service_ns = 50'000;
+
+  double jitter_sigma = 0.03;
+  std::size_t queue_capacity = 1024;
+  DurationNs prop_delay = 1_us;
+  bool record_busy = false;
+  std::uint64_t seed = 1;
+};
+
+/// Handle to a generated network.
+struct GeneratedTopology {
+  std::unique_ptr<Topology> topo;
+  NodeId source{kInvalidNode};
+  /// Nodes grouped by DAG rank (longest distance from the source).
+  std::vector<std::vector<NodeId>> layers;
+  /// Expected fraction of the offered load arriving at each node id.
+  std::vector<double> load_fraction;
+  /// Nodes with an edge to the sink (full-flow recording edge NFs).
+  std::vector<NodeId> edge_nfs;
+  /// Nodes fed directly by the source.
+  std::vector<NodeId> entry_nfs;
+  /// LB-router salt per node id (source included); mirrors make_lb_router
+  /// so scenario code can predict routing (see path_of).
+  std::vector<std::uint64_t> router_salt;
+  TopologyGenOptions opts;
+
+  std::vector<NodeId> all_nfs() const;
+  /// DAG depth (number of ranks).
+  std::size_t depth() const { return layers.size(); }
+  /// Rank of an NF node (layers index); throws on non-NF ids.
+  std::size_t layer_of(NodeId id) const;
+  /// Predicted path of a flow, source to sink exclusive (generated
+  /// switches forward packets unmodified, so the flow hash — and hence
+  /// every LB pick — is constant along the path).
+  std::vector<NodeId> path_of(const FiveTuple& flow) const;
+};
+
+/// Generate a topology. Deterministic: equal options (including seed)
+/// produce identical structure, calibration, and routing. Throws
+/// std::invalid_argument on inconsistent options (num_nfs < layers,
+/// min_fanout == 0, min_fanout > max_fanout).
+GeneratedTopology generate_topology(sim::Simulator& sim,
+                                    collector::Collector* col,
+                                    const TopologyGenOptions& opts = {});
+
+}  // namespace microscope::nf

@@ -261,7 +261,14 @@ WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
     for (const core::Victim& v : diag.drop_victims())
       if (keep(v)) victims.push_back(v);
 
-  res.diagnoses = diag.diagnose_all(victims);
+  if (opts_.capture_provenance) {
+    res.diagnoses.reserve(victims.size());
+    res.provenances.resize(victims.size());
+    for (std::size_t i = 0; i < victims.size(); ++i)
+      res.diagnoses.push_back(diag.diagnose(victims[i], &res.provenances[i]));
+  } else {
+    res.diagnoses = diag.diagnose_all(victims);
+  }
   return res;
 }
 

@@ -35,6 +35,7 @@
 #include "collector/ring.hpp"
 #include "collector/wire.hpp"
 #include "core/diagnosis.hpp"
+#include "core/provenance.hpp"
 #include "online/aggregator.hpp"
 #include "online/stream_store.hpp"
 #include "online/window.hpp"
@@ -72,6 +73,12 @@ struct OnlineOptions {
   /// ingestion is dropped (and counted) instead of growing memory.
   /// 0 = unlimited.
   std::size_t max_retained_batches = 0;
+  /// Record full attribution provenance per diagnosis into
+  /// WindowResult::provenances (for invariant auditing — e.g. the chaos
+  /// suite's conservation check). Victims are then diagnosed sequentially
+  /// on the calling thread instead of through diagnose_all's pool, so
+  /// leave this off on latency-sensitive paths.
+  bool capture_provenance = false;
   core::DiagnoserOptions diagnoser = streaming_diagnoser_defaults();
   trace::ReconstructOptions reconstruct{};
   StreamingAggregatorOptions aggregator{};
@@ -116,6 +123,9 @@ struct WindowResult {
   /// Diagnoses of victims anchored in [start, end), in deterministic
   /// victim order. victim.journey is window-local bookkeeping.
   std::vector<core::Diagnosis> diagnoses;
+  /// Parallel to `diagnoses` when OnlineOptions::capture_provenance is
+  /// set; empty otherwise.
+  std::vector<core::Provenance> provenances;
 };
 
 class OnlineEngine {

@@ -1,0 +1,184 @@
+// Tests for the seeded topology generator: structural invariants of both
+// DAG shapes, load/calibration math, determinism, routing prediction, and
+// a short end-to-end run through a generated network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "nf/generate.hpp"
+#include "nf/traffic.hpp"
+#include "sim/simulator.hpp"
+#include "trace/graph.hpp"
+#include "trace/reconstruct.hpp"
+
+namespace microscope::nf {
+namespace {
+
+TopologyGenOptions layered_opts() {
+  TopologyGenOptions o;
+  o.shape = GenShape::kLayered;
+  o.num_nfs = 120;
+  o.layers = 6;
+  o.max_fanout = 3;
+  o.seed = 3;
+  return o;
+}
+
+TEST(GenerateTest, LayeredStructure) {
+  sim::Simulator sim;
+  const TopologyGenOptions o = layered_opts();
+  GeneratedTopology g = generate_topology(sim, nullptr, o);
+
+  EXPECT_EQ(g.all_nfs().size(), o.num_nfs);
+  EXPECT_EQ(g.depth(), o.layers);
+  std::size_t total = 0;
+  for (const auto& layer : g.layers) total += layer.size();
+  EXPECT_EQ(total, o.num_nfs);
+
+  // Entries are exactly layer 0; edge NFs exactly the last layer.
+  EXPECT_EQ(g.entry_nfs, g.layers.front());
+  EXPECT_EQ(g.edge_nfs, g.layers.back());
+
+  // Every non-terminal NF has at least one downstream NF; terminals route
+  // to the sink only.
+  const nf::Topology& topo = *g.topo;
+  for (const NodeId id : g.all_nfs()) {
+    const auto& down = topo.downstreams_of(id);
+    ASSERT_FALSE(down.empty());
+    const bool terminal =
+        std::find(g.edge_nfs.begin(), g.edge_nfs.end(), id) != g.edge_nfs.end();
+    for (const NodeId d : down)
+      EXPECT_EQ(d == topo.sink_id(), terminal) << "node " << id;
+  }
+
+  // Load conservation: entries split the offered load; every layer carries
+  // all of it (layered DAGs lose nothing between layers).
+  for (const auto& layer : g.layers) {
+    double sum = 0.0;
+    for (const NodeId id : layer) sum += g.load_fraction[id];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GenerateTest, RandomDagStructure) {
+  sim::Simulator sim;
+  TopologyGenOptions o;
+  o.shape = GenShape::kRandomDag;
+  o.num_nfs = 150;
+  o.layers = 10;  // reach window => deep
+  o.seed = 11;
+  GeneratedTopology g = generate_topology(sim, nullptr, o);
+
+  EXPECT_EQ(g.all_nfs().size(), o.num_nfs);
+  EXPECT_GE(g.depth(), 5u);
+  EXPECT_FALSE(g.entry_nfs.empty());
+  EXPECT_FALSE(g.edge_nfs.empty());
+
+  // All offered load enters, and all of it reaches the sink-adjacent NFs.
+  double entry_sum = 0.0;
+  for (const NodeId id : g.entry_nfs) entry_sum += g.load_fraction[id];
+  EXPECT_NEAR(entry_sum, 1.0, 1e-9);
+  double edge_sum = 0.0;
+  for (const NodeId id : g.edge_nfs) edge_sum += g.load_fraction[id];
+  EXPECT_NEAR(edge_sum, 1.0, 1e-9);
+}
+
+TEST(GenerateTest, CalibrationHitsUtilizationBand) {
+  sim::Simulator sim;
+  TopologyGenOptions o = layered_opts();
+  o.offered_rate_mpps = 1.0;
+  GeneratedTopology g = generate_topology(sim, nullptr, o);
+
+  // util = arrival_rate / peak_rate must sit inside the drawn band (plus
+  // slop for the service-time clamps).
+  const std::vector<RatePerNs> peak = g.topo->peak_rates();
+  const double offered_pkts_per_ns = o.offered_rate_mpps * 1e-3;
+  for (const NodeId id : g.all_nfs()) {
+    ASSERT_GT(peak[id].pkts_per_ns, 0.0);
+    const double util =
+        g.load_fraction[id] * offered_pkts_per_ns / peak[id].pkts_per_ns;
+    EXPECT_GE(util, 0.03) << "node " << id;
+    EXPECT_LE(util, 0.95) << "node " << id;
+  }
+}
+
+TEST(GenerateTest, DeterministicUnderSeed) {
+  sim::Simulator sim_a, sim_b;
+  const TopologyGenOptions o = layered_opts();
+  GeneratedTopology a = generate_topology(sim_a, nullptr, o);
+  GeneratedTopology b = generate_topology(sim_b, nullptr, o);
+
+  EXPECT_EQ(a.layers, b.layers);
+  EXPECT_EQ(a.load_fraction, b.load_fraction);
+  EXPECT_EQ(a.router_salt, b.router_salt);
+  for (NodeId id = 0; id < a.topo->node_count(); ++id)
+    EXPECT_EQ(a.topo->downstreams_of(id), b.topo->downstreams_of(id));
+
+  TopologyGenOptions o2 = o;
+  o2.seed = o.seed + 1;
+  sim::Simulator sim_c;
+  GeneratedTopology c = generate_topology(sim_c, nullptr, o2);
+  EXPECT_NE(a.router_salt, c.router_salt);
+}
+
+TEST(GenerateTest, RejectsBadOptions) {
+  sim::Simulator sim;
+  TopologyGenOptions o;
+  o.num_nfs = 4;
+  o.layers = 8;
+  EXPECT_THROW(generate_topology(sim, nullptr, o), std::invalid_argument);
+  o = {};
+  o.min_fanout = 0;
+  EXPECT_THROW(generate_topology(sim, nullptr, o), std::invalid_argument);
+  o = {};
+  o.min_fanout = 5;
+  o.max_fanout = 2;
+  EXPECT_THROW(generate_topology(sim, nullptr, o), std::invalid_argument);
+}
+
+TEST(GenerateTest, PathOfPredictsActualRouting) {
+  sim::Simulator sim;
+  collector::Collector col;
+  TopologyGenOptions o;
+  o.num_nfs = 40;
+  o.layers = 4;
+  o.offered_rate_mpps = 0.1;
+  o.jitter_sigma = 0.0;
+  o.seed = 17;
+  GeneratedTopology g = generate_topology(sim, &col, o);
+
+  // Run a couple of constant-rate flows through and check each delivered
+  // journey's hop sequence equals the prediction.
+  std::vector<SourcePacket> trace;
+  std::vector<FiveTuple> flows;
+  for (int i = 0; i < 4; ++i) {
+    FiveTuple ft{make_ipv4(10, 1, 0, static_cast<std::uint32_t>(i + 1)),
+                 make_ipv4(20, 1, 0, 1), static_cast<std::uint16_t>(4000 + i),
+                 443, 6};
+    flows.push_back(ft);
+    trace = merge_traces(std::move(trace),
+                         generate_constant_rate(ft, 0, 5_ms, 0.01));
+  }
+  g.topo->source(g.source).set_network(g.topo.get());
+  g.topo->source(g.source).load(std::move(trace));
+  sim.run_until(10_ms);
+
+  trace::ReconstructOptions ropt;
+  ropt.prop_delay = o.prop_delay;
+  const auto rt = trace::reconstruct(col, trace::graph_view(*g.topo), ropt);
+  ASSERT_GT(rt.journeys().size(), 100u);
+  std::size_t checked = 0;
+  for (const trace::Journey& j : rt.journeys()) {
+    if (j.fate != trace::Fate::kDelivered) continue;
+    const std::vector<NodeId> want = g.path_of(j.flow);
+    ASSERT_EQ(j.hops.size(), want.size());
+    for (std::size_t h = 0; h < want.size(); ++h)
+      EXPECT_EQ(j.hops[h].node, want[h]);
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace microscope::nf

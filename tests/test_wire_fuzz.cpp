@@ -302,38 +302,67 @@ TEST(WireFuzz, SplitReassemblyMatrix) {
   }
 }
 
+/// On storm failure, drop a replay recipe where CI can pick it up as an
+/// artifact (set MICROSCOPE_FUZZ_ARTIFACT_DIR; no-op otherwise).
+void write_fuzz_artifact(std::uint64_t seed, std::size_t trial,
+                         const testing::Corruption& c) {
+  const char* dir = std::getenv("MICROSCOPE_FUZZ_ARTIFACT_DIR");
+  if (!dir) return;
+  std::ofstream os(std::string(dir) + "/fuzz_failure_seed_" +
+                   std::to_string(seed) + ".txt");
+  os << "MICROSCOPE_FUZZ_SEED=" << seed << "\n"
+     << "trial=" << trial << "\n"
+     << "op=" << static_cast<int>(c.op) << "\n"
+     << "pos=" << c.pos << "\n"
+     << "repro: MICROSCOPE_FUZZ_SEED=" << seed
+     << " ./tests/test_wire_fuzz"
+        " --gtest_filter=WireFuzz.SeededCorruptionStorm\n";
+}
+
 TEST(WireFuzz, SeededCorruptionStorm) {
   const Golden g = build_golden();
   std::size_t trials = 1000;
   if (const char* env = std::getenv("MICROSCOPE_FUZZ_TRIALS"))
     trials = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  std::uint64_t seed = 0xC0FFEE;  // CI runs a matrix of seeds via env
+  if (const char* env = std::getenv("MICROSCOPE_FUZZ_SEED"))
+    seed = std::strtoull(env, nullptr, 0);
 
-  testing::CorruptionFuzzer fuzzer(0xC0FFEE);
+  testing::CorruptionFuzzer fuzzer(seed);
   std::uint64_t recovered = 0, recoverable = 0;
   for (std::size_t t = 0; t < trials; ++t) {
     std::vector<std::byte> buf = g.bytes;
     const testing::Corruption c =
         fuzzer.apply_random(buf, g.offsets, kMaxPayload);
-    const std::string label = "trial " + std::to_string(t) + " op " +
+    const std::string label = "seed " + std::to_string(seed) + " trial " +
+                              std::to_string(t) + " op " +
                               std::to_string(static_cast<int>(c.op)) +
                               " pos " + std::to_string(c.pos);
 
-    const DecodeResult r = decode_region(buf, DecodePolicy::kLenient);
-    expect_only(r.stats, c.expect, label);
-    ASSERT_EQ(r.recs.size(), c.expected_records) << label;
-    recovered += c.expected_records;
-    recoverable += c.expected_records;  // oracle-exact: nothing else was lost
+    // Trial body in a lambda so ASSERT-style early returns land here and
+    // the failing trial can still be written out as a repro artifact.
+    [&] {
+      const DecodeResult r = decode_region(buf, DecodePolicy::kLenient);
+      expect_only(r.stats, c.expect, label);
+      ASSERT_EQ(r.recs.size(), c.expected_records) << label;
+      recovered += c.expected_records;
+      recoverable += c.expected_records;  // oracle-exact: nothing else lost
 
-    if (c.expect) {
-      try {
-        decode_region(buf, DecodePolicy::kStrict);
-        FAIL() << label << ": strict decode accepted a corrupted stream";
-      } catch (const DecodeError& e) {
-        EXPECT_EQ(e.kind(), *c.expect) << label;
+      if (c.expect) {
+        try {
+          decode_region(buf, DecodePolicy::kStrict);
+          FAIL() << label << ": strict decode accepted a corrupted stream";
+        } catch (const DecodeError& e) {
+          EXPECT_EQ(e.kind(), *c.expect) << label;
+        }
+      } else {
+        const DecodeResult rs = decode_region(buf, DecodePolicy::kStrict);
+        EXPECT_EQ(rs.recs.size(), c.expected_records) << label;
       }
-    } else {
-      const DecodeResult rs = decode_region(buf, DecodePolicy::kStrict);
-      EXPECT_EQ(rs.recs.size(), c.expected_records) << label;
+    }();
+    if (::testing::Test::HasFailure()) {
+      write_fuzz_artifact(seed, t, c);
+      break;
     }
   }
   // Acceptance floor (trivially met when every per-trial assertion held;
