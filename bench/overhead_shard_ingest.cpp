@@ -1,0 +1,244 @@
+// Sharded ingestion throughput: what the collector-facing thread can
+// accept, single-shard versus flow-sharded (Fig. 10/11 workload).
+//
+// The sharded design moves ingestion-state maintenance (store copies,
+// ordering, eviction) off the steering thread: accepting a record costs
+// one flow hash, a split, and an SPSC ring push. Three measurements:
+//
+//  * BM_SingleShardSustained — the OnlineEngine baseline: ingest + window
+//    close + diagnosis inline on the calling thread. This is the sustained
+//    records/s a single-shard deployment can absorb.
+//  * BM_ShardedAccept/N — the steering thread's accept rate at N shards
+//    with drains moved off the timed path (rings drained between timing
+//    blocks), i.e. the rate the collector side sees when the per-shard
+//    workers run elsewhere. The PR acceptance target compares
+//    BM_ShardedAccept/8 against BM_SingleShardSustained (>= 4x).
+//  * BM_ShardedEndToEnd/N — steering + inline drain + window close +
+//    diagnosis all on one thread: the worst case (a 1-core box), showing
+//    the sharding machinery's own overhead is modest.
+//
+// Run in Release; the JSON lands in BENCH_shard_ingest.json.
+#include "bench_main.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "microscope/microscope.hpp"
+#include "nf/inject.hpp"
+
+using namespace microscope;
+
+namespace {
+
+/// One replayable record, pre-merged into global timestamp order so the
+/// timed loops do no merging of their own.
+struct Record {
+  collector::Direction dir;
+  NodeId node;
+  NodeId peer;
+  TimeNs ts;
+  std::size_t begin;  // into Fixture::pkts
+  std::size_t count;
+};
+
+struct Fixture {
+  sim::Simulator sim;
+  collector::Collector col;
+  eval::Fig10 net;
+  trace::GraphView graph;
+  std::vector<Packet> pkts;
+  std::vector<Record> records;
+
+  Fixture() : net(eval::build_fig10(sim, &col)) {
+    nf::CaidaLikeOptions topts;
+    topts.duration = 40_ms;
+    topts.rate_mpps = 1.2;
+    topts.num_flows = 1500;
+    net.topo->source(net.source).load(nf::generate_caida_like(topts));
+    nf::InjectionLog log;
+    nf::schedule_interrupt(sim, net.topo->nf(net.nats[0]), 15_ms, 600_us,
+                           log);
+    sim.run_until(80_ms);
+    graph = trace::graph_view(*net.topo);
+
+    // Flatten to one time-ordered record list (ties: node, rx before tx —
+    // the same merge the replay and stream-file paths use).
+    struct Cursor {
+      TimeNs ts;
+      NodeId node;
+      collector::Direction dir;
+      std::size_t idx;
+    };
+    std::vector<Cursor> order;
+    for (NodeId id = 0; id < col.node_count(); ++id) {
+      if (!col.has_node(id)) continue;
+      const collector::NodeTrace& tr = col.node(id);
+      for (std::size_t i = 0; i < tr.rx_batches.size(); ++i)
+        order.push_back({tr.rx_batches[i].ts, id, collector::Direction::kRx,
+                         i});
+      for (std::size_t i = 0; i < tr.tx_batches.size(); ++i)
+        order.push_back({tr.tx_batches[i].ts, id, collector::Direction::kTx,
+                         i});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Cursor& a, const Cursor& b) {
+                if (a.ts != b.ts) return a.ts < b.ts;
+                if (a.node != b.node) return a.node < b.node;
+                if (a.dir != b.dir)
+                  return a.dir == collector::Direction::kRx;
+                return a.idx < b.idx;
+              });
+    for (const Cursor& c : order) {
+      const collector::NodeTrace& tr = col.node(c.node);
+      const bool tx = c.dir == collector::Direction::kTx;
+      const collector::BatchRecord& rec =
+          tx ? tr.tx_batches[c.idx] : tr.rx_batches[c.idx];
+      const std::size_t begin = pkts.size();
+      for (std::size_t i = 0; i < rec.count; ++i) {
+        Packet p{};
+        const std::size_t at = rec.begin + i;
+        p.ipid = tx ? tr.tx_ipids[at] : tr.rx_ipids[at];
+        if (tx && tr.full_flow) p.flow = tr.tx_flows[at];
+        pkts.push_back(p);
+      }
+      records.push_back({c.dir, c.node, tx ? rec.peer : kInvalidNode, rec.ts,
+                         begin, rec.count});
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+online::OnlineOptions engine_options() {
+  Fixture& f = fixture();
+  online::OnlineOptions oopt;
+  oopt.window_ns = 5_ms;
+  oopt.slack_ns = 5_ms;
+  oopt.latency_threshold = 100_us;
+  oopt.diagnoser.max_depth = 5;
+  oopt.diagnoser.period.max_lookback = 3_ms;
+  oopt.reconstruct.prop_delay = f.net.topo->options().prop_delay;
+  return oopt;
+}
+
+void register_all(online::StreamTarget& eng) {
+  const Fixture& f = fixture();
+  for (NodeId id = 0; id < f.col.node_count(); ++id)
+    if (f.col.has_node(id)) eng.register_node(id, f.col.node(id).full_flow);
+}
+
+void feed_one(online::StreamTarget& eng, const Record& r) {
+  const Fixture& f = fixture();
+  const std::span<const Packet> batch{f.pkts.data() + r.begin, r.count};
+  if (r.dir == collector::Direction::kRx)
+    eng.on_rx(r.node, r.ts, batch);
+  else
+    eng.on_tx(r.node, r.peer, r.ts, batch);
+}
+
+void BM_SingleShardSustained(benchmark::State& state) {
+  Fixture& f = fixture();
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    online::OnlineEngine eng(f.graph, f.net.topo->peak_rates(),
+                             engine_options());
+    register_all(eng);
+    state.ResumeTiming();
+    std::size_t since_poll = 0;
+    for (const Record& r : f.records) {
+      feed_one(eng, r);
+      if (++since_poll >= 256) {
+        since_poll = 0;
+        windows += eng.poll().size();
+      }
+    }
+    windows += eng.finish().size();
+  }
+  state.counters["windows"] = static_cast<double>(windows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_SingleShardSustained)->Unit(benchmark::kMillisecond);
+
+void BM_ShardedAccept(benchmark::State& state) {
+  Fixture& f = fixture();
+  shard::ShardedOptions sopt;
+  sopt.shards = static_cast<std::size_t>(state.range(0));
+  sopt.ring_capacity = 1 << 15;
+  sopt.spawn_workers = false;  // drains happen between timing blocks
+  sopt.online = engine_options();
+  std::uint64_t overruns = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    shard::ShardedEngine eng(f.graph, f.net.topo->peak_rates(), sopt);
+    register_all(eng);
+    state.ResumeTiming();
+    // Timed: hash + split + ring push only. Rings are drained off the
+    // clock every 8192 records, standing in for the per-shard workers.
+    std::size_t since_drain = 0;
+    for (const Record& r : f.records) {
+      feed_one(eng, r);
+      if (++since_drain >= 8192) {
+        since_drain = 0;
+        state.PauseTiming();
+        eng.drain_inline();
+        state.ResumeTiming();
+      }
+    }
+    state.PauseTiming();
+    overruns += eng.stats().ring_overruns;
+    eng.finish();
+    state.ResumeTiming();
+  }
+  state.counters["overruns"] = static_cast<double>(overruns);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_ShardedAccept)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedEndToEnd(benchmark::State& state) {
+  Fixture& f = fixture();
+  shard::ShardedOptions sopt;
+  sopt.shards = static_cast<std::size_t>(state.range(0));
+  sopt.spawn_workers = false;
+  sopt.online = engine_options();
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    shard::ShardedEngine eng(f.graph, f.net.topo->peak_rates(), sopt);
+    register_all(eng);
+    state.ResumeTiming();
+    std::size_t since_poll = 0;
+    for (const Record& r : f.records) {
+      feed_one(eng, r);
+      if (++since_poll >= 256) {
+        since_poll = 0;
+        windows += eng.poll().size();
+      }
+    }
+    windows += eng.finish().size();
+  }
+  state.counters["windows"] = static_cast<double>(windows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_ShardedEndToEnd)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+MICROSCOPE_BENCH_MAIN("shard_ingest");

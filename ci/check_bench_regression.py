@@ -17,8 +17,11 @@ files — aborts loudly before any comparison: comparing a RelWithDebInfo
 run against a Release baseline measures the compiler, not the change.
 
 Benchmarks missing from the baseline are reported but do not fail the run
-(new benchmarks need --update to be enrolled); baseline entries missing
-from the inputs fail, so silently dropping a benchmark is caught.
+(new benchmarks need --update to be enrolled). Baseline entries missing
+from the inputs fail only when their bench binary (file stem) was part of
+this run — silently dropping a benchmark from a suite is caught, while
+running a subset of the suites (or a baseline that already includes a
+benchmark the run didn't build) just notes the skipped stems.
 
 Exit status: 0 clean, 1 regression (or missing benchmark), 2 usage error.
 """
@@ -33,12 +36,13 @@ BUILD_TYPE_KEY = "__build_type__"
 
 
 def load_results(paths):
-    """-> ({key: cpu_time_ns}, build_type).
+    """-> ({key: cpu_time_ns}, build_type, {file stems}).
 
     key = '<file-stem>/<benchmark name>'. Aborts (exit 2) when the input
     reports disagree about (or omit) the build type they were compiled as.
     """
     results = {}
+    stems = set()
     build_type = None
     for path in paths:
         stem = os.path.basename(path)
@@ -46,6 +50,7 @@ def load_results(paths):
             stem = stem[len("BENCH_"):]
         if stem.endswith(".json"):
             stem = stem[: -len(".json")]
+        stems.add(stem)
         with open(path) as f:
             report = json.load(f)
         bt = report.get("context", {}).get("microscope_build_type")
@@ -64,7 +69,7 @@ def load_results(paths):
                 continue
             ns = to_ns(bench["cpu_time"], bench.get("time_unit", "ns"))
             results[f"{stem}/{bench['name']}"] = ns
-    return results, build_type
+    return results, build_type, stems
 
 
 def to_ns(value, unit):
@@ -91,7 +96,7 @@ def main():
     ap.add_argument("results", nargs="+", help="BENCH_*.json files")
     args = ap.parse_args()
 
-    results, build_type = load_results(args.results)
+    results, build_type, stems = load_results(args.results)
     if not results:
         sys.exit("no benchmark entries found in the given files")
 
@@ -133,13 +138,21 @@ def main():
               f"{ref / 1e6:.3f} ms ({ratio - 1.0:+.1%})")
         if marker == "FAIL":
             failures.append(key)
-    missing = sorted(set(baseline) - set(results))
+    # A baseline entry only counts as missing when its bench binary was
+    # part of this run; whole stems absent from the run (a subset run, or
+    # a baseline ahead of the build) are noted but never fail.
+    absent = sorted(set(baseline) - set(results))
+    missing = [k for k in absent if k.split("/", 1)[0] in stems]
+    skipped_stems = sorted({k.split("/", 1)[0] for k in absent} - stems)
 
     for key in new:
         print(f"new  {key}: {results[key] / 1e6:.3f} ms (not in baseline; "
               "run with --update to enroll)")
     for key in missing:
         print(f"MISS {key}: in baseline but not in results")
+    for stem in skipped_stems:
+        print(f"skip {stem}: in baseline but its report was not part of "
+              "this run")
 
     if failures or missing:
         print(f"\n{len(failures)} regression(s), {len(missing)} missing "

@@ -238,6 +238,17 @@ void register_pipeline_metrics(Registry& reg) {
   reg.counter("online.windows_skipped_empty");
   reg.histogram("online.window_close_ns");
   reg.gauge("online.watermark_lag_ns");
+  // Stage 5b: flow-sharded ingestion (steering, per-shard rings, merge).
+  reg.counter("shard.steer.records");
+  reg.counter("shard.steer.packets");
+  reg.counter("shard.steer.subbatches");
+  reg.counter("shard.ring.overruns");
+  reg.gauge("shard.ring.depth");
+  reg.gauge("shard.steer.imbalance");
+  reg.gauge("shard.active");
+  reg.gauge("shard.drain_lag_records");
+  reg.histogram("shard.merge_ns");
+  reg.histogram("shard.barrier_ns");
   reg.gauge("online.ring_dropped_records");
   reg.gauge("online.retained_batches");
   reg.gauge("online.retained_bytes");

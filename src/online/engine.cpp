@@ -1,7 +1,6 @@
 #include "online/engine.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <utility>
 
 #include "obs/metrics.hpp"
@@ -49,35 +48,11 @@ struct OnlineMetrics {
 
 }  // namespace
 
-core::DiagnoserOptions streaming_diagnoser_defaults() {
-  core::DiagnoserOptions opts;
-  opts.abnormal_stddev_k = std::numeric_limits<double>::infinity();
-  return opts;
-}
-
-namespace {
-
-DurationNs derive_history(const OnlineOptions& o) {
-  if (o.history_ns > 0) return o.history_ns;
-  // Worst-case lookback of a recursive diagnosis anchored at the window
-  // start: each of the max_depth levels can walk one queuing period
-  // (<= max_lookback) plus a propagation hop, and the victim's own journey
-  // spans at most slack back to its source record.
-  const auto& d = o.diagnoser;
-  return d.max_depth *
-             (d.period.max_lookback + o.reconstruct.prop_delay) +
-         o.slack_ns;
-}
-
-}  // namespace
-
 OnlineEngine::OnlineEngine(trace::GraphView graph,
                            std::vector<RatePerNs> peak_rates,
                            OnlineOptions opts)
-    : graph_(std::move(graph)),
-      peak_rates_(std::move(peak_rates)),
-      opts_(opts),
-      history_ns_(derive_history(opts)),
+    : opts_(opts),
+      wd_(std::move(graph), std::move(peak_rates), opts),
       wm_(opts.window_ns, opts.slack_ns, opts.idle_timeout_ns),
       agg_(opts.aggregator),
       decoder_(
@@ -214,7 +189,7 @@ std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
     // Everything older than what the *next* window can reach is dead. The
     // extra slack_ns covers the tx-side alignment warm-up margin that the
     // next materialization will extend below its rx cut.
-    store_.evict_before(b.end - history_ns_ - opts_.slack_ns);
+    store_.evict_before(b.end - wd_.history_ns() - opts_.slack_ns);
     out.push_back(std::move(res));
   }
   m.retained_batches.set(static_cast<double>(store_.retained_batches()));
@@ -223,15 +198,14 @@ std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
 }
 
 WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
-  WindowResult res;
-  res.index = b.index;
-  res.start = b.start;
-  res.end = b.end;
-  res.idle_forced = b.idle_forced;
-
-  const TimeNs lo = b.start - history_ns_;
-  const TimeNs hi = b.end + wm_.slack_ns();
+  const TimeNs lo = wd_.slice_lo(b);
+  const TimeNs hi = wd_.slice_hi(b);
   if (store_.empty_in(lo, hi)) {
+    WindowResult res;
+    res.index = b.index;
+    res.start = b.start;
+    res.end = b.end;
+    res.idle_forced = b.idle_forced;
     ++stats_.windows_skipped_empty;
     OnlineMetrics::get().windows_skipped_empty.add();
     return res;
@@ -239,37 +213,8 @@ WindowResult OnlineEngine::diagnose_window(const WindowBounds& b) {
 
   // Tx side reaches slack below the rx cut so that every in-slice rx
   // entry's origin tx is present — see StreamStore::materialize.
-  collector::Collector col = store_.materialize(lo, hi, lo - wm_.slack_ns());
-  trace::ReconstructedTrace rt =
-      trace::reconstruct(col, graph_, opts_.reconstruct);
-  res.journeys = rt.journeys().size();
-
-  // The window id rides through options because diagnose_all fans out to
-  // pool threads, out of reach of this thread's correlation scope.
-  core::DiagnoserOptions dopts = opts_.diagnoser;
-  dopts.trace_window = b.index;
-  core::Diagnoser diag(rt, peak_rates_, dopts);
-  std::vector<core::Victim> victims;
-  auto keep = [&](const core::Victim& v) {
-    return v.time >= b.start && v.time < b.end;
-  };
-  if (opts_.diagnose_latency)
-    for (const core::Victim& v :
-         diag.latency_victims_by_threshold(opts_.latency_threshold))
-      if (keep(v)) victims.push_back(v);
-  if (opts_.diagnose_drops)
-    for (const core::Victim& v : diag.drop_victims())
-      if (keep(v)) victims.push_back(v);
-
-  if (opts_.capture_provenance) {
-    res.diagnoses.reserve(victims.size());
-    res.provenances.resize(victims.size());
-    for (std::size_t i = 0; i < victims.size(); ++i)
-      res.diagnoses.push_back(diag.diagnose(victims[i], &res.provenances[i]));
-  } else {
-    res.diagnoses = diag.diagnose_all(victims);
-  }
-  return res;
+  collector::Collector col = store_.materialize(lo, hi, wd_.slice_tx_lo(b));
+  return wd_.diagnose(b, col);
 }
 
 OnlineStats OnlineEngine::stats() const {

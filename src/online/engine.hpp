@@ -1,10 +1,14 @@
-// Streaming diagnosis engine (online mode).
+// Streaming diagnosis engine (online mode, single shard).
 //
 // Incrementally ingests collector record streams — direct hook calls, raw
 // wire bytes, or an external-drain RingCollector — segments them into fixed
 // time windows, and when a window closes (watermark coverage, see
 // window.hpp) materializes the retained records around it, reconstructs,
-// and diagnoses exactly as the offline pipeline would.
+// and diagnoses exactly as the offline pipeline would. The per-window
+// analysis itself lives in WindowDiagnoser (window_diagnoser.hpp), shared
+// with the flow-sharded engine (shard/sharded_engine.hpp); this class is
+// the single-store composition: one StreamStore, one WindowManager, one
+// thread.
 //
 // Equivalence guarantee: for every closed window, the emitted diagnoses are
 // byte-identical to running the offline Diagnoser over the full trace with
@@ -38,57 +42,13 @@
 #include "core/provenance.hpp"
 #include "online/aggregator.hpp"
 #include "online/stream_store.hpp"
+#include "online/stream_target.hpp"
 #include "online/window.hpp"
+#include "online/window_diagnoser.hpp"
 #include "trace/graph.hpp"
 #include "trace/reconstruct.hpp"
 
 namespace microscope::online {
-
-/// Diagnoser options tuned for streaming: the offline default anchors a
-/// latency victim at the first hop whose local latency is abnormal vs the
-/// *whole-trace* per-hop statistics — a global quantity no online engine
-/// can know. Disabling the stddev test (k = inf) anchors at the journey's
-/// max-latency hop, a pure per-journey function, which makes per-window
-/// output independent of what else is in the trace. Use the same options
-/// offline when comparing.
-core::DiagnoserOptions streaming_diagnoser_defaults();
-
-struct OnlineOptions {
-  /// Window core length.
-  DurationNs window_ns = 10_ms;
-  /// Watermark slack past a window's end before it may close (covers
-  /// propagation + queueing of packets anchored inside the core).
-  DurationNs slack_ns = 2_ms;
-  /// Records older than window_start - history are evicted; 0 derives a
-  /// bound from the diagnoser's recursion depth and period lookback.
-  DurationNs history_ns = 0;
-  /// Force-close a window when the global watermark runs this far past its
-  /// due point while some node's stream is stalled. 0 = wait forever.
-  DurationNs idle_timeout_ns = 0;
-  /// Latency victims: delivered packets with e2e latency above this.
-  DurationNs latency_threshold = 1_ms;
-  bool diagnose_latency = true;
-  bool diagnose_drops = false;
-  /// Backpressure: when the store holds this many batches, further
-  /// ingestion is dropped (and counted) instead of growing memory.
-  /// 0 = unlimited.
-  std::size_t max_retained_batches = 0;
-  /// Record full attribution provenance per diagnosis into
-  /// WindowResult::provenances (for invariant auditing — e.g. the chaos
-  /// suite's conservation check). Victims are then diagnosed sequentially
-  /// on the calling thread instead of through diagnose_all's pool, so
-  /// leave this off on latency-sensitive paths.
-  bool capture_provenance = false;
-  core::DiagnoserOptions diagnoser = streaming_diagnoser_defaults();
-  trace::ReconstructOptions reconstruct{};
-  StreamingAggregatorOptions aggregator{};
-  /// Wire decode validation for feed_bytes/drain_ring ingestion. Defaults
-  /// to lenient raw decode with the timestamp check off (the ring is a
-  /// trusted in-process stream); tailing a file from another process is
-  /// where kStrict or a timestamp tolerance earns its keep. The framing is
-  /// switched per-source via set_wire_framing (a v2 trace header does it).
-  collector::DecodeOptions decode{};
-};
 
 struct OnlineStats {
   std::uint64_t batches_ingested{0};
@@ -112,44 +72,29 @@ struct OnlineStats {
   DurationNs retained_span_ns{0};
 };
 
-/// One closed window's diagnosis output.
-struct WindowResult {
-  std::int64_t index{0};
-  TimeNs start{0};
-  TimeNs end{0};  // exclusive
-  bool idle_forced{false};
-  /// Journeys reconstructed in the window slice (0 when skipped empty).
-  std::size_t journeys{0};
-  /// Diagnoses of victims anchored in [start, end), in deterministic
-  /// victim order. victim.journey is window-local bookkeeping.
-  std::vector<core::Diagnosis> diagnoses;
-  /// Parallel to `diagnoses` when OnlineOptions::capture_provenance is
-  /// set; empty otherwise.
-  std::vector<core::Provenance> provenances;
-};
-
-class OnlineEngine {
+class OnlineEngine : public StreamTarget {
  public:
   OnlineEngine(trace::GraphView graph, std::vector<RatePerNs> peak_rates,
                OnlineOptions opts = {});
 
   /// Declare a node before feeding its records (mirrors Collector).
-  void register_node(NodeId id, bool full_flow);
+  void register_node(NodeId id, bool full_flow) override;
 
   // --- ingestion (any mix; per-node streams must be time-ordered) -------
-  void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch);
-  void on_tx(NodeId id, NodeId peer, TimeNs ts, std::span<const Packet> batch);
+  void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) override;
+  void on_tx(NodeId id, NodeId peer, TimeNs ts,
+             std::span<const Packet> batch) override;
 
   /// Feed raw wire-format bytes (chunk boundaries arbitrary; partial
   /// records are buffered). Bytes are validated per OnlineOptions::decode:
   /// lenient faults are counted (decode_stats()) and resynced past; strict
   /// faults throw collector::DecodeError.
-  void feed_bytes(std::span<const std::byte> bytes);
+  void feed_bytes(std::span<const std::byte> bytes) override;
 
   /// Select the wire framing for subsequent feed_bytes data (a v2 trace
   /// file header switches to kFramed). Only legal while no partial record
   /// is buffered (throws std::logic_error otherwise).
-  void set_wire_framing(collector::WireFraming framing);
+  void set_wire_framing(collector::WireFraming framing) override;
 
   /// Fault accounting of the byte-fed ingestion path.
   const collector::DecodeStats& decode_stats() const {
@@ -165,12 +110,12 @@ class OnlineEngine {
   // --- window lifecycle -------------------------------------------------
   /// Close and diagnose every window whose watermark coverage (or idle
   /// timeout) allows it. Cheap when nothing is closable.
-  std::vector<WindowResult> poll();
+  std::vector<WindowResult> poll() override;
 
   /// End of stream: finalizes the wire decoder (a buffered partial record
   /// becomes a truncated_tail fault), then closes every remaining window
   /// that could contain a victim, regardless of watermarks.
-  std::vector<WindowResult> finish();
+  std::vector<WindowResult> finish() override;
 
   /// Stats snapshot (retained_* recomputed at call time).
   OnlineStats stats() const;
@@ -178,7 +123,7 @@ class OnlineEngine {
   const StreamingAggregator& aggregator() const { return agg_; }
   const WindowManager& windows() const { return wm_; }
   /// Effective history (after derivation when options.history_ns == 0).
-  DurationNs history_ns() const { return history_ns_; }
+  DurationNs history_ns() const { return wd_.history_ns(); }
 
  private:
   void ingest(collector::Direction dir, NodeId node, NodeId peer, TimeNs ts,
@@ -186,10 +131,8 @@ class OnlineEngine {
   std::vector<WindowResult> close_ready(bool finishing);
   WindowResult diagnose_window(const WindowBounds& b);
 
-  trace::GraphView graph_;
-  std::vector<RatePerNs> peak_rates_;
   OnlineOptions opts_;
-  DurationNs history_ns_;
+  WindowDiagnoser wd_;
   StreamStore store_;
   WindowManager wm_;
   StreamingAggregator agg_;

@@ -1,0 +1,51 @@
+// The ingestion-facing interface of a streaming diagnosis engine.
+//
+// Both the single-shard OnlineEngine and the flow-sharded ShardedEngine
+// accept the same record sources — direct hook calls, raw wire bytes, a
+// replayed Collector, a tailed trace file — and emit the same per-window
+// results. The replay/tail drivers (online/replay.hpp) and the CLI's
+// follow modes are written against this interface so a `--shards=N` flag
+// is just a different constructor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "collector/wire.hpp"
+#include "common/packet.hpp"
+#include "common/time.hpp"
+#include "online/window_diagnoser.hpp"
+
+namespace microscope::online {
+
+class StreamTarget {
+ public:
+  virtual ~StreamTarget() = default;
+
+  /// Declare a node before feeding its records (mirrors Collector).
+  virtual void register_node(NodeId id, bool full_flow) = 0;
+
+  // --- ingestion (any mix; per-node streams must be time-ordered) -------
+  virtual void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) = 0;
+  virtual void on_tx(NodeId id, NodeId peer, TimeNs ts,
+                     std::span<const Packet> batch) = 0;
+
+  /// Feed raw wire-format bytes (chunk boundaries arbitrary; partial
+  /// records are buffered).
+  virtual void feed_bytes(std::span<const std::byte> bytes) = 0;
+
+  /// Select the wire framing for subsequent feed_bytes data (a v2 trace
+  /// file header switches to kFramed).
+  virtual void set_wire_framing(collector::WireFraming framing) = 0;
+
+  /// Close and diagnose every window whose watermark coverage (or idle
+  /// timeout) allows it. Cheap when nothing is closable.
+  virtual std::vector<WindowResult> poll() = 0;
+
+  /// End of stream: finalize decode, then close every remaining window
+  /// that could contain a victim, regardless of watermarks.
+  virtual std::vector<WindowResult> finish() = 0;
+};
+
+}  // namespace microscope::online

@@ -1,0 +1,69 @@
+#include "online/window_diagnoser.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace microscope::online {
+
+core::DiagnoserOptions streaming_diagnoser_defaults() {
+  core::DiagnoserOptions opts;
+  opts.abnormal_stddev_k = std::numeric_limits<double>::infinity();
+  return opts;
+}
+
+DurationNs derive_history(const OnlineOptions& o) {
+  if (o.history_ns > 0) return o.history_ns;
+  const auto& d = o.diagnoser;
+  return d.max_depth * (d.period.max_lookback + o.reconstruct.prop_delay) +
+         o.slack_ns;
+}
+
+WindowDiagnoser::WindowDiagnoser(trace::GraphView graph,
+                                 std::vector<RatePerNs> peak_rates,
+                                 const OnlineOptions& opts)
+    : graph_(std::move(graph)),
+      peak_rates_(std::move(peak_rates)),
+      opts_(opts),
+      history_(derive_history(opts)) {}
+
+WindowResult WindowDiagnoser::diagnose(const WindowBounds& b,
+                                       const collector::Collector& col) const {
+  WindowResult res;
+  res.index = b.index;
+  res.start = b.start;
+  res.end = b.end;
+  res.idle_forced = b.idle_forced;
+
+  trace::ReconstructedTrace rt =
+      trace::reconstruct(col, graph_, opts_.reconstruct);
+  res.journeys = rt.journeys().size();
+
+  // The window id rides through options because diagnose_all fans out to
+  // pool threads, out of reach of this thread's correlation scope.
+  core::DiagnoserOptions dopts = opts_.diagnoser;
+  dopts.trace_window = b.index;
+  core::Diagnoser diag(rt, peak_rates_, dopts);
+  std::vector<core::Victim> victims;
+  auto keep = [&](const core::Victim& v) {
+    return v.time >= b.start && v.time < b.end;
+  };
+  if (opts_.diagnose_latency)
+    for (const core::Victim& v :
+         diag.latency_victims_by_threshold(opts_.latency_threshold))
+      if (keep(v)) victims.push_back(v);
+  if (opts_.diagnose_drops)
+    for (const core::Victim& v : diag.drop_victims())
+      if (keep(v)) victims.push_back(v);
+
+  if (opts_.capture_provenance) {
+    res.diagnoses.reserve(victims.size());
+    res.provenances.resize(victims.size());
+    for (std::size_t i = 0; i < victims.size(); ++i)
+      res.diagnoses.push_back(diag.diagnose(victims[i], &res.provenances[i]));
+  } else {
+    res.diagnoses = diag.diagnose_all(victims);
+  }
+  return res;
+}
+
+}  // namespace microscope::online

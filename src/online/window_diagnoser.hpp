@@ -1,0 +1,134 @@
+// The window diagnosis core shared by the single-shard OnlineEngine and
+// the flow-sharded ShardedEngine.
+//
+// Both engines segment the stream into the same watermarked windows and
+// differ only in how the window's record slice is assembled (one local
+// StreamStore vs. a merge across shard-local stores). Everything after the
+// slice — reconstruction, victim selection, diagnosis, provenance capture —
+// lives here, so "byte-identical to the single-shard path" is true by
+// construction: there is exactly one implementation of it.
+//
+// This header also owns the option/result types of the streaming layer
+// (they predate the sharded engine and used to live in engine.hpp, which
+// re-exports them).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "collector/collector.hpp"
+#include "collector/wire.hpp"
+#include "core/diagnosis.hpp"
+#include "core/provenance.hpp"
+#include "online/aggregator.hpp"
+#include "online/window.hpp"
+#include "trace/graph.hpp"
+#include "trace/reconstruct.hpp"
+
+namespace microscope::online {
+
+/// Diagnoser options tuned for streaming: the offline default anchors a
+/// latency victim at the first hop whose local latency is abnormal vs the
+/// *whole-trace* per-hop statistics — a global quantity no online engine
+/// can know. Disabling the stddev test (k = inf) anchors at the journey's
+/// max-latency hop, a pure per-journey function, which makes per-window
+/// output independent of what else is in the trace. Use the same options
+/// offline when comparing.
+core::DiagnoserOptions streaming_diagnoser_defaults();
+
+struct OnlineOptions {
+  /// Window core length.
+  DurationNs window_ns = 10_ms;
+  /// Watermark slack past a window's end before it may close (covers
+  /// propagation + queueing of packets anchored inside the core).
+  DurationNs slack_ns = 2_ms;
+  /// Records older than window_start - history are evicted; 0 derives a
+  /// bound from the diagnoser's recursion depth and period lookback.
+  DurationNs history_ns = 0;
+  /// Force-close a window when the global watermark runs this far past its
+  /// due point while some node's stream is stalled. 0 = wait forever.
+  DurationNs idle_timeout_ns = 0;
+  /// Latency victims: delivered packets with e2e latency above this.
+  DurationNs latency_threshold = 1_ms;
+  bool diagnose_latency = true;
+  bool diagnose_drops = false;
+  /// Backpressure: when the store holds this many batches, further
+  /// ingestion is dropped (and counted) instead of growing memory.
+  /// 0 = unlimited. (The sharded engine gates on its aggregate sub-batch
+  /// count, refreshed per poll — same bound, coarser granularity.)
+  std::size_t max_retained_batches = 0;
+  /// Record full attribution provenance per diagnosis into
+  /// WindowResult::provenances (for invariant auditing — e.g. the chaos
+  /// suite's conservation check). Victims are then diagnosed sequentially
+  /// on the calling thread instead of through diagnose_all's pool, so
+  /// leave this off on latency-sensitive paths.
+  bool capture_provenance = false;
+  core::DiagnoserOptions diagnoser = streaming_diagnoser_defaults();
+  trace::ReconstructOptions reconstruct{};
+  StreamingAggregatorOptions aggregator{};
+  /// Wire decode validation for feed_bytes/drain_ring ingestion. Defaults
+  /// to lenient raw decode with the timestamp check off (the ring is a
+  /// trusted in-process stream); tailing a file from another process is
+  /// where kStrict or a timestamp tolerance earns its keep. The framing is
+  /// switched per-source via set_wire_framing (a v2 trace header does it).
+  collector::DecodeOptions decode{};
+};
+
+/// Effective history horizon: the given history_ns, or (when 0) the
+/// worst-case lookback of a recursive diagnosis anchored at the window
+/// start — each of the max_depth levels can walk one queuing period
+/// (<= max_lookback) plus a propagation hop, and the victim's own journey
+/// spans at most slack back to its source record.
+DurationNs derive_history(const OnlineOptions& opts);
+
+/// One closed window's diagnosis output.
+struct WindowResult {
+  std::int64_t index{0};
+  TimeNs start{0};
+  TimeNs end{0};  // exclusive
+  bool idle_forced{false};
+  /// Journeys reconstructed in the window slice (0 when skipped empty).
+  std::size_t journeys{0};
+  /// Diagnoses of victims anchored in [start, end), in deterministic
+  /// victim order. victim.journey is window-local bookkeeping.
+  std::vector<core::Diagnosis> diagnoses;
+  /// Parallel to `diagnoses` when OnlineOptions::capture_provenance is
+  /// set; empty otherwise.
+  std::vector<core::Provenance> provenances;
+};
+
+/// Diagnoses one closed window given its materialized record slice.
+class WindowDiagnoser {
+ public:
+  WindowDiagnoser(trace::GraphView graph, std::vector<RatePerNs> peak_rates,
+                  const OnlineOptions& opts);
+
+  /// Slice bounds a window's diagnosis may touch: records in
+  /// [slice_lo, slice_hi] on the rx side, [slice_tx_lo, slice_hi] on tx
+  /// (the tx side reaches slack below the rx cut so every in-slice rx
+  /// entry's origin tx is present — see StreamStore::materialize).
+  TimeNs slice_lo(const WindowBounds& b) const { return b.start - history_; }
+  TimeNs slice_hi(const WindowBounds& b) const {
+    return b.end + opts_.slack_ns;
+  }
+  TimeNs slice_tx_lo(const WindowBounds& b) const {
+    return slice_lo(b) - opts_.slack_ns;
+  }
+
+  /// Reconstruct + diagnose `col` (the materialized slice) for the victims
+  /// anchored inside `b`. `col` must cover exactly the slice bounds above.
+  WindowResult diagnose(const WindowBounds& b,
+                        const collector::Collector& col) const;
+
+  DurationNs history_ns() const { return history_; }
+  const OnlineOptions& options() const { return opts_; }
+
+ private:
+  trace::GraphView graph_;
+  std::vector<RatePerNs> peak_rates_;
+  OnlineOptions opts_;
+  DurationNs history_;
+};
+
+}  // namespace microscope::online

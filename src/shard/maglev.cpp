@@ -1,0 +1,88 @@
+#include "shard/maglev.hpp"
+
+#include <stdexcept>
+
+namespace microscope::shard {
+
+namespace {
+
+/// Unclaimed-entry sentinel during the permutation fill. Shard slot ids
+/// are small monotonic integers, so the collision is unreachable.
+constexpr std::uint32_t kUnowned = 0xFFFFFFFFu;
+
+bool is_prime(std::size_t n) {
+  if (n < 2) return false;
+  for (std::size_t d = 2; d * d <= n; ++d)
+    if (n % d == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t mix_key(std::uint64_t v) noexcept {
+  // SplitMix64 finalizer — the same mix flow_hash ends with, so IPID/node
+  // keys spread over the full 64-bit space like five-tuple keys do.
+  v += 0x9E3779B97F4A7C15ULL;
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  v = (v ^ (v >> 27)) * 0x94D049BB133111EBULL;
+  return v ^ (v >> 31);
+}
+
+MaglevTable::MaglevTable(std::size_t table_size) : table_(table_size) {
+  if (!is_prime(table_size))
+    throw std::invalid_argument("MaglevTable: table_size must be prime");
+}
+
+void MaglevTable::rebuild(const std::vector<std::uint32_t>& backend_ids) {
+  if (backend_ids.empty())
+    throw std::invalid_argument("MaglevTable: no backends");
+  const std::size_t m = table_.size();
+  const std::size_t n = backend_ids.size();
+
+  // Per-backend permutation parameters, derived from the stable slot id
+  // alone: entry j of backend b's preference list is
+  // (offset_b + j * skip_b) mod M, with M prime and 1 <= skip < M so the
+  // list visits every entry exactly once.
+  std::vector<std::size_t> offset(n), skip(n), next(n, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::uint64_t h1 = mix_key(backend_ids[b]);
+    const std::uint64_t h2 = mix_key(h1 ^ 0xA5A5A5A5A5A5A5A5ULL);
+    offset[b] = static_cast<std::size_t>(h1 % m);
+    skip[b] = static_cast<std::size_t>(h2 % (m - 1)) + 1;
+  }
+
+  std::vector<std::uint32_t> table(m, kUnowned);
+  std::size_t filled = 0;
+  while (filled < m) {
+    for (std::size_t b = 0; b < n && filled < m; ++b) {
+      // Walk b's preference list to its first unclaimed entry.
+      std::size_t entry = (offset[b] + next[b] * skip[b]) % m;
+      while (table[entry] != kUnowned) {
+        ++next[b];
+        entry = (entry + skip[b]) % m;
+      }
+      table[entry] = backend_ids[b];
+      ++next[b];
+      ++filled;
+    }
+  }
+  table_ = std::move(table);
+  backends_ = n;
+}
+
+std::uint32_t MaglevTable::lookup(std::uint64_t key) const {
+  if (backends_ == 0)
+    throw std::logic_error("MaglevTable::lookup before rebuild");
+  return table_[static_cast<std::size_t>(key % table_.size())];
+}
+
+std::size_t MaglevTable::entries_differing(const MaglevTable& other) const {
+  if (table_.size() != other.table_.size())
+    throw std::invalid_argument("entries_differing: table sizes differ");
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < table_.size(); ++i)
+    if (table_[i] != other.table_[i]) ++diff;
+  return diff;
+}
+
+}  // namespace microscope::shard

@@ -1,0 +1,58 @@
+// Maglev-style consistent-hash flow steering table.
+//
+// Maps a 64-bit flow key (flow_hash of the five-tuple, or a mixed IPID for
+// packets without one) to a shard slot. The table is built with Maglev's
+// permutation fill (Eisenbud et al., NSDI'16): each backend owns a
+// (offset, skip) permutation of the table derived only from its own stable
+// slot id, and backends claim table entries round-robin along their
+// permutations until the table is full. Near-equal balance falls out of the
+// round-robin; the consistency property — adding or removing one backend
+// remaps only ~1/N of the keyspace — falls out of the permutations being
+// per-backend stable: surviving backends claim mostly the same entries in
+// the rebuilt table.
+//
+// Slot ids are stable across add/remove (a removed shard's id is never
+// reused), which is what keeps the permutations of surviving shards fixed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace microscope::shard {
+
+class MaglevTable {
+ public:
+  /// `table_size` must be a prime (asserted) well above the expected max
+  /// backend count; the default 4099 keeps the per-backend share error
+  /// under ~1% for up to ~40 shards.
+  static constexpr std::size_t kDefaultTableSize = 4099;
+
+  explicit MaglevTable(std::size_t table_size = kDefaultTableSize);
+
+  /// Rebuild the table for `backend_ids` (stable slot ids, need not be
+  /// dense). Throws std::invalid_argument when empty.
+  void rebuild(const std::vector<std::uint32_t>& backend_ids);
+
+  /// Backend id owning `key`. Must not be called before rebuild().
+  std::uint32_t lookup(std::uint64_t key) const;
+
+  std::size_t table_size() const { return table_.size(); }
+  std::size_t backend_count() const { return backends_; }
+
+  /// Entries of `this` that map to a different backend than in `other`
+  /// (tables must be the same size). The Maglev disruption measure: after
+  /// adding one backend to N this should be ~table_size/(N+1), not ~all.
+  std::size_t entries_differing(const MaglevTable& other) const;
+
+ private:
+  std::vector<std::uint32_t> table_;  // entry -> backend id
+  std::size_t backends_{0};
+};
+
+/// Mix a small integer (IPID, node id) into a full-width key with the same
+/// SplitMix64 finalizer flow_hash uses, so keyspace coverage does not
+/// depend on the caller's value range.
+std::uint64_t mix_key(std::uint64_t v) noexcept;
+
+}  // namespace microscope::shard

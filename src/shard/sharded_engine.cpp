@@ -1,0 +1,586 @@
+#include "shard/sharded_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/tracing.hpp"
+
+namespace microscope::shard {
+
+namespace {
+
+/// Registry handles, resolved once per process. The online.* set is shared
+/// with OnlineEngine (same pipeline stage, same meaning); the shard.* set
+/// is the steering/ring/merge instrumentation only this engine produces.
+struct ShardMetrics {
+  obs::Counter& batches_ingested;
+  obs::Counter& packets_ingested;
+  obs::Counter& late_dropped;
+  obs::Counter& backpressure_dropped;
+  obs::Counter& windows_closed;
+  obs::Counter& windows_idle_forced;
+  obs::Counter& windows_skipped_empty;
+  obs::Histogram& window_close_ns;
+  obs::Gauge& watermark_lag_ns;
+  obs::Counter& steer_records;
+  obs::Counter& steer_packets;
+  obs::Counter& steer_subbatches;
+  obs::Counter& ring_overruns;
+  obs::Gauge& ring_depth;
+  obs::Gauge& steer_imbalance;
+  obs::Gauge& shards_active;
+  obs::Gauge& drain_lag;
+  obs::Histogram& merge_ns;
+  obs::Histogram& barrier_ns;
+
+  static ShardMetrics& get() {
+    obs::Registry& r = obs::Registry::global();
+    static ShardMetrics m{r.counter("online.batches_ingested"),
+                          r.counter("online.packets_ingested"),
+                          r.counter("online.late_dropped_batches"),
+                          r.counter("online.backpressure_dropped_batches"),
+                          r.counter("online.windows_closed"),
+                          r.counter("online.windows_idle_forced"),
+                          r.counter("online.windows_skipped_empty"),
+                          r.histogram("online.window_close_ns"),
+                          r.gauge("online.watermark_lag_ns"),
+                          r.counter("shard.steer.records"),
+                          r.counter("shard.steer.packets"),
+                          r.counter("shard.steer.subbatches"),
+                          r.counter("shard.ring.overruns"),
+                          r.gauge("shard.ring.depth"),
+                          r.gauge("shard.steer.imbalance"),
+                          r.gauge("shard.active"),
+                          r.gauge("shard.drain_lag_records"),
+                          r.histogram("shard.merge_ns"),
+                          r.histogram("shard.barrier_ns")};
+    return m;
+  }
+};
+
+/// Steering-thread wait loop: a few yields, then short sleeps (the repo
+/// targets single-core containers too, where pure spinning starves the
+/// very worker being waited on).
+struct Backoff {
+  int spins = 0;
+  void pause() {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+};
+
+}  // namespace
+
+std::uint64_t ShardedEngine::steering_key(const Packet& p) {
+  // Tx records at full-flow edge nodes carry the five-tuple; everything
+  // else is keyed on the IPID. The merge reassembles original record order
+  // regardless of where a packet was steered, so keying the same packet
+  // differently at different nodes affects load placement only.
+  if (p.flow == FiveTuple{}) return mix_key(p.ipid);
+  return flow_hash(p.flow);
+}
+
+ShardedEngine::ShardedEngine(trace::GraphView graph,
+                             std::vector<RatePerNs> peak_rates,
+                             ShardedOptions opts)
+    : opts_(opts),
+      wd_(std::move(graph), std::move(peak_rates), opts.online),
+      wm_(opts.online.window_ns, opts.online.slack_ns,
+          opts.online.idle_timeout_ns),
+      agg_(opts.online.aggregator),
+      decoder_(
+          [this](NodeId n) {
+            return n < node_full_flow_.size() && node_full_flow_[n];
+          },
+          [this](const collector::DecodedBatch& b) {
+            ingest(b.dir, b.node, b.peer, b.ts, b.pkts);
+          },
+          opts.online.decode,
+          [this](NodeId n) {
+            return n < node_registered_.size() && node_registered_[n];
+          }),
+      maglev_(opts.maglev_table_size) {
+  if (opts_.shards == 0)
+    throw std::invalid_argument("ShardedEngine: shards must be >= 1");
+  for (std::size_t i = 0; i < opts_.shards; ++i) make_shard();
+  maglev_.rebuild(active_slots());
+  ShardMetrics::get().shards_active.set(static_cast<double>(opts_.shards));
+}
+
+ShardedEngine::~ShardedEngine() {
+  for (auto& sh : shards_) stop_worker(*sh);
+}
+
+ShardedEngine::Shard& ShardedEngine::make_shard() {
+  shards_.push_back(std::make_unique<Shard>(next_slot_, opts_.ring_capacity));
+  ++next_slot_;
+  split_scratch_.resize(next_slot_);
+  Shard& sh = *shards_.back();
+  for (NodeId id = 0; id < node_registered_.size(); ++id)
+    if (node_registered_[id]) sh.store.register_node(id, node_full_flow_[id]);
+  if (opts_.spawn_workers)
+    sh.worker = std::thread([this, &sh] { worker_main(sh); });
+  return sh;
+}
+
+void ShardedEngine::stop_worker(Shard& sh) {
+  if (!sh.worker.joinable()) return;
+  sh.paused.store(false, std::memory_order_release);
+  sh.stop.store(true, std::memory_order_release);
+  sh.worker.join();
+}
+
+void ShardedEngine::worker_main(Shard& sh) {
+  ShardRecord rec;
+  int idle = 0;
+  for (;;) {
+    if (sh.paused.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      continue;
+    }
+    if (sh.ring.try_pop(rec)) {
+      idle = 0;
+      online::StreamBatch b;
+      b.dir = rec.dir;
+      b.peer = rec.peer;
+      b.ts = rec.ts;
+      b.pkts = std::move(rec.pkts);
+      b.seq = rec.seq;
+      b.origin_count = rec.origin_count;
+      b.origin = std::move(rec.origin);
+      sh.store.add(rec.node, std::move(b));
+      // Publish the drain watermark after the store write: the
+      // coordinator's acquire read of it is what licenses merging and
+      // evicting this store.
+      sh.drained_seq.store(rec.seq, std::memory_order_release);
+    } else {
+      // Check stop only when drained: a stopping worker empties its ring.
+      if (sh.stop.load(std::memory_order_acquire)) return;
+      if (++idle < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  }
+}
+
+void ShardedEngine::drain_shard_inline(Shard& sh) {
+  ShardRecord rec;
+  while (sh.ring.try_pop(rec)) {
+    online::StreamBatch b;
+    b.dir = rec.dir;
+    b.peer = rec.peer;
+    b.ts = rec.ts;
+    b.pkts = std::move(rec.pkts);
+    b.seq = rec.seq;
+    b.origin_count = rec.origin_count;
+    b.origin = std::move(rec.origin);
+    sh.store.add(rec.node, std::move(b));
+    sh.drained_seq.store(rec.seq, std::memory_order_release);
+  }
+}
+
+void ShardedEngine::drain_inline() {
+  for (auto& sh : shards_) drain_shard_inline(*sh);
+}
+
+void ShardedEngine::barrier_all() {
+  if (!opts_.spawn_workers) {
+    drain_inline();
+    return;
+  }
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    if (sh.pushed_seq == 0) continue;
+    Backoff backoff;
+    while (sh.drained_seq.load(std::memory_order_acquire) < sh.pushed_seq)
+      backoff.pause();
+  }
+}
+
+void ShardedEngine::register_node(NodeId id, bool full_flow) {
+  // Quiesce the workers first: the barrier's acquire edge makes the shard
+  // stores safe to grow from this thread (no worker add() runs until the
+  // next ring push, which release-publishes these writes back to it).
+  barrier_all();
+  if (id >= node_registered_.size()) {
+    node_registered_.resize(id + 1, false);
+    node_full_flow_.resize(id + 1, false);
+  }
+  node_registered_[id] = true;
+  node_full_flow_[id] = full_flow;
+  for (auto& sh : shards_) sh->store.register_node(id, full_flow);
+  wm_.register_node(id);
+}
+
+void ShardedEngine::on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) {
+  ingest(collector::Direction::kRx, id, kInvalidNode, ts, batch);
+}
+
+void ShardedEngine::on_tx(NodeId id, NodeId peer, TimeNs ts,
+                          std::span<const Packet> batch) {
+  ingest(collector::Direction::kTx, id, peer, ts, batch);
+}
+
+void ShardedEngine::feed_bytes(std::span<const std::byte> bytes) {
+  decoder_.feed(bytes);
+}
+
+void ShardedEngine::set_wire_framing(collector::WireFraming framing) {
+  decoder_.set_framing(framing);
+}
+
+void ShardedEngine::ingest(collector::Direction dir, NodeId node, NodeId peer,
+                           TimeNs ts, std::span<const Packet> pkts) {
+  ShardMetrics& m = ShardMetrics::get();
+  // Same gating as OnlineEngine::ingest, on the steering thread, before
+  // any split — the watermark and drop decisions must not depend on the
+  // shard layout or the equivalence guarantee breaks.
+  wm_.note(node, ts);
+  if (wm_.closed_end() != online::WindowManager::kWatermarkNone &&
+      ts < wm_.closed_end()) {
+    ++stats_.late_dropped_batches;
+    m.late_dropped.add();
+    return;
+  }
+  if (opts_.online.max_retained_batches > 0 &&
+      retained_at_poll_ + accepted_since_poll_ >=
+          opts_.online.max_retained_batches) {
+    ++stats_.backpressure_dropped_batches;
+    m.backpressure_dropped.add();
+    return;
+  }
+  if (pkts.size() > 0xFFFF)
+    throw std::invalid_argument(
+        "ShardedEngine: batch exceeds 65535 packets (origin positions are "
+        "16-bit)");
+
+  const std::uint64_t seq = next_seq_++;
+  ++stats_.records_ingested;
+  stats_.packets_ingested += pkts.size();
+  ++accepted_since_poll_;
+  m.batches_ingested.add();
+  m.packets_ingested.add(pkts.size());
+  m.steer_records.add();
+  m.steer_packets.add(pkts.size());
+
+  if (pkts.empty()) {
+    // Zero-packet records still carry watermark/ordering information and
+    // materialize offline; park them deterministically by node key.
+    ShardRecord rec;
+    rec.dir = dir;
+    rec.node = node;
+    rec.peer = peer;
+    rec.ts = ts;
+    rec.seq = seq;
+    steer(find_shard(maglev_.lookup(mix_key(node))), std::move(rec));
+    return;
+  }
+
+  split_touched_.clear();
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const std::uint32_t slot = maglev_.lookup(steering_key(pkts[i]));
+    ShardRecord& rec = split_scratch_[slot];
+    if (rec.pkts.empty()) {
+      split_touched_.push_back(slot);
+      rec.dir = dir;
+      rec.node = node;
+      rec.peer = peer;
+      rec.ts = ts;
+      rec.seq = seq;
+      rec.origin_count = static_cast<std::uint16_t>(pkts.size());
+    }
+    rec.pkts.push_back(pkts[i]);
+    rec.origin.push_back(static_cast<std::uint16_t>(i));
+  }
+  if (split_touched_.size() == 1)
+    split_scratch_[split_touched_[0]].origin.clear();  // identity sub-batch
+  for (const std::uint32_t slot : split_touched_) {
+    steer(find_shard(slot), std::move(split_scratch_[slot]));
+    split_scratch_[slot] = ShardRecord{};
+  }
+}
+
+void ShardedEngine::steer(Shard& sh, ShardRecord rec) {
+  ShardMetrics& m = ShardMetrics::get();
+  const std::uint64_t seq = rec.seq;
+  const std::size_t npkts = rec.pkts.size();
+  ++stats_.subbatches_steered;
+  m.steer_subbatches.add();
+  if (!sh.ring.try_push(rec)) {
+    if (opts_.ring_full == RingFullPolicy::kDrop) {
+      ++sh.overruns;
+      ++stats_.ring_overruns;
+      m.ring_overruns.add();
+      return;
+    }
+    if (!opts_.spawn_workers) {
+      // Workerless kBlock: the steering thread doubles as the drain.
+      drain_shard_inline(sh);
+      if (!sh.ring.try_push(rec))
+        throw std::logic_error("ShardedEngine: ring smaller than one record");
+    } else {
+      Backoff backoff;
+      while (!sh.ring.try_push(rec)) backoff.pause();
+    }
+  }
+  sh.pushed_seq = seq;
+  ++sh.records_steered;
+  sh.packets_steered += npkts;
+}
+
+ShardedEngine::Shard& ShardedEngine::find_shard(std::uint32_t slot) {
+  for (auto& sh : shards_)
+    if (sh->slot == slot) return *sh;
+  throw std::logic_error("ShardedEngine: unknown shard slot");
+}
+
+std::vector<std::uint32_t> ShardedEngine::active_slots() const {
+  std::vector<std::uint32_t> slots;
+  for (const auto& sh : shards_)
+    if (!sh->retired) slots.push_back(sh->slot);
+  return slots;
+}
+
+std::uint32_t ShardedEngine::add_shard() {
+  barrier_all();  // quiesce before registering nodes on the new store
+  Shard& sh = make_shard();
+  maglev_.rebuild(active_slots());
+  ShardMetrics::get().shards_active.set(
+      static_cast<double>(active_slots().size()));
+  return sh.slot;
+}
+
+void ShardedEngine::remove_shard(std::uint32_t slot) {
+  Shard& sh = find_shard(slot);
+  if (sh.retired)
+    throw std::invalid_argument("ShardedEngine: shard already retired");
+  if (active_slots().size() <= 1)
+    throw std::invalid_argument("ShardedEngine: cannot remove last shard");
+  barrier_all();  // its ring is empty after this; the store stays mergeable
+  sh.retired = true;
+  stop_worker(sh);
+  maglev_.rebuild(active_slots());
+  ShardMetrics::get().shards_active.set(
+      static_cast<double>(active_slots().size()));
+}
+
+void ShardedEngine::set_worker_paused(std::uint32_t slot, bool paused) {
+  find_shard(slot).paused.store(paused, std::memory_order_release);
+}
+
+std::vector<online::WindowResult> ShardedEngine::poll() {
+  return close_ready(false);
+}
+
+std::vector<online::WindowResult> ShardedEngine::finish() {
+  decoder_.finish();
+  return close_ready(true);
+}
+
+std::vector<online::WindowResult> ShardedEngine::close_ready(bool finishing) {
+  ShardMetrics& m = ShardMetrics::get();
+  if (wm_.global_watermark() != online::WindowManager::kWatermarkNone &&
+      wm_.min_watermark() != online::WindowManager::kWatermarkNone) {
+    m.watermark_lag_ns.set(
+        static_cast<double>(wm_.global_watermark() - wm_.min_watermark()));
+    obs::trace_instant("online", "watermark",
+                       static_cast<std::uint64_t>(wm_.global_watermark()));
+  }
+  // Drain lag sampled before the barrier (after it, it is zero by
+  // definition): how far the slowest shard's worker trails the steering
+  // thread, in records.
+  {
+    std::uint64_t lag = 0;
+    for (const auto& sh : shards_)
+      if (sh->pushed_seq > 0) {
+        const std::uint64_t drained =
+            sh->drained_seq.load(std::memory_order_relaxed);
+        lag = std::max(lag, sh->pushed_seq - drained);
+      }
+    m.drain_lag.set(static_cast<double>(lag));
+  }
+
+  std::vector<online::WindowResult> out;
+  online::WindowBounds b;
+  bool barriered = false;
+  while (wm_.next_closable(b, finishing)) {
+    if (!barriered) {
+      // One barrier covers the whole close loop: no new records are
+      // steered while the coordinator runs, so once every shard's drain
+      // watermark catches up the stores stay quiescent.
+      obs::ScopedTimer barrier_timer(m.barrier_ns);
+      barrier_all();
+      barriered = true;
+    }
+    const auto wscope = obs::CorrelationScope::for_window(b.index);
+    obs::TraceSpan wspan("online", "window.close");
+    obs::ScopedTimer close_timer(m.window_close_ns);
+    const TimeNs lo = wd_.slice_lo(b);
+    const TimeNs hi = wd_.slice_hi(b);
+
+    online::WindowResult res;
+    bool empty = true;
+    for (const auto& sh : shards_)
+      if (!sh->store.empty_in(lo, hi)) {
+        empty = false;
+        break;
+      }
+    if (empty) {
+      res.index = b.index;
+      res.start = b.start;
+      res.end = b.end;
+      res.idle_forced = b.idle_forced;
+      ++stats_.windows_skipped_empty;
+      m.windows_skipped_empty.add();
+    } else {
+      obs::ScopedTimer merge_timer(m.merge_ns);
+      collector::Collector col = merge_slice(lo, hi, wd_.slice_tx_lo(b));
+      merge_timer.stop();
+      res = wd_.diagnose(b, col);
+    }
+    agg_.ingest(res.diagnoses);
+    close_timer.stop();
+    wspan.set_items(res.diagnoses.size());
+    wspan.stop();
+    ++stats_.windows_closed;
+    m.windows_closed.add();
+    if (b.idle_forced) {
+      ++stats_.windows_idle_forced;
+      m.windows_idle_forced.add();
+    }
+    wm_.advance();
+    for (auto& sh : shards_)
+      sh->store.evict_before(b.end - wd_.history_ns() - opts_.online.slack_ns);
+    out.push_back(std::move(res));
+  }
+
+  refresh_gauges(barriered);
+  return out;
+}
+
+collector::Collector ShardedEngine::merge_slice(TimeNs lo, TimeNs hi,
+                                                TimeNs tx_lo) const {
+  // 1. Collect every shard's sub-batches inside the slice cut.
+  struct Ref {
+    const online::StreamBatch* b;
+    NodeId node;
+  };
+  std::vector<Ref> refs;
+  for (const auto& sh : shards_)
+    sh->store.visit_slice(lo, hi, tx_lo,
+                          [&](NodeId n, const online::StreamBatch& batch) {
+                            refs.push_back({&batch, n});
+                          });
+
+  // 2. Group by global ingest sequence. Within a group order is
+  // irrelevant: origin positions are disjoint by construction.
+  std::sort(refs.begin(), refs.end(),
+            [](const Ref& a, const Ref& b) { return a.b->seq < b.b->seq; });
+
+  collector::CollectorOptions copts;
+  copts.ground_truth = false;
+  collector::Collector col(copts);
+  for (NodeId id = 0; id < node_registered_.size(); ++id)
+    if (node_registered_[id]) col.register_node(id, node_full_flow_[id]);
+
+  // 3. Reassemble each original record and replay in sequence order —
+  // projected per node, that is exactly the ingestion order the
+  // single-shard StreamStore preserves.
+  std::vector<Packet> buf;
+  std::vector<std::pair<std::uint16_t, const Packet*>> survivors;
+  for (std::size_t i = 0; i < refs.size();) {
+    std::size_t j = i + 1;
+    while (j < refs.size() && refs[j].b->seq == refs[i].b->seq) ++j;
+    const online::StreamBatch& first = *refs[i].b;
+    std::size_t total = 0;
+    for (std::size_t k = i; k < j; ++k) total += refs[k].b->pkts.size();
+    buf.clear();
+    if (total == first.origin_count) {
+      // Complete: scatter each packet back to its original position.
+      buf.resize(total);
+      for (std::size_t k = i; k < j; ++k) {
+        const online::StreamBatch& sb = *refs[k].b;
+        for (std::size_t p = 0; p < sb.pkts.size(); ++p)
+          buf[sb.origin.empty() ? p : sb.origin[p]] = sb.pkts[p];
+      }
+    } else {
+      // Ring overruns dropped some sub-batches; keep the survivors in
+      // original relative order (one lost sub-batch costs its packets
+      // only, mirroring the lenient decoder's one-fault-one-record rule).
+      survivors.clear();
+      for (std::size_t k = i; k < j; ++k) {
+        const online::StreamBatch& sb = *refs[k].b;
+        for (std::size_t p = 0; p < sb.pkts.size(); ++p)
+          survivors.emplace_back(
+              sb.origin.empty() ? static_cast<std::uint16_t>(p) : sb.origin[p],
+              &sb.pkts[p]);
+      }
+      std::sort(survivors.begin(), survivors.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      buf.reserve(survivors.size());
+      for (const auto& [pos, pkt] : survivors) buf.push_back(*pkt);
+    }
+    if (first.dir == collector::Direction::kRx) {
+      col.on_rx(refs[i].node, first.ts, buf);
+    } else {
+      col.on_tx(refs[i].node, refs[i].b->peer, first.ts, buf);
+    }
+    i = j;
+  }
+  return col;
+}
+
+void ShardedEngine::refresh_gauges(bool stores_quiescent) {
+  ShardMetrics& m = ShardMetrics::get();
+  std::size_t depth = 0;
+  std::size_t retained = 0;
+  std::uint64_t max_rec = 0, sum_rec = 0, active = 0;
+  for (const auto& sh : shards_) {
+    if (stores_quiescent) retained += sh->store.retained_batches();
+    if (sh->retired) continue;
+    ++active;
+    depth = std::max(depth, sh->ring.size());
+    max_rec = std::max(max_rec, sh->records_steered);
+    sum_rec += sh->records_steered;
+  }
+  m.ring_depth.set(static_cast<double>(depth));
+  if (sum_rec > 0 && active > 0)
+    m.steer_imbalance.set(static_cast<double>(max_rec) * active /
+                          static_cast<double>(sum_rec));
+  if (stores_quiescent) {
+    // Refresh the backpressure estimate only over a consistent cut; the
+    // gate keeps counting accepted records until the next quiescent poll.
+    retained_at_poll_ = retained;
+    accepted_since_poll_ = 0;
+  }
+}
+
+ShardedStats ShardedEngine::stats() {
+  barrier_all();  // quiesce so the store counters form a consistent cut
+  ShardedStats s = stats_;
+  s.wire_decode_dropped = decoder_.stats().dropped();
+  s.shards.reserve(shards_.size());
+  for (const auto& sh : shards_) {
+    ShardSnapshot snap;
+    snap.slot = sh->slot;
+    snap.retired = sh->retired;
+    snap.records_steered = sh->records_steered;
+    snap.packets_steered = sh->packets_steered;
+    snap.ring_overruns = sh->overruns;
+    snap.ring_depth = sh->ring.size();
+    snap.drained_seq = sh->drained_seq.load(std::memory_order_acquire);
+    snap.retained_batches = sh->store.retained_batches();
+    s.shards.push_back(snap);
+  }
+  return s;
+}
+
+}  // namespace microscope::shard

@@ -1,0 +1,262 @@
+// Flow-sharded streaming ingestion: Maglev steering + per-shard SPSC rings
+// + shard-local stores + a merging window coordinator.
+//
+// Topology (ROADMAP item 1): the steering thread — the caller of the
+// ingestion API, standing in for the collector/dumper side — hashes each
+// record's packets by flow key (flow_hash of the five-tuple when present,
+// a mixed IPID otherwise), splits the record into per-shard sub-batches,
+// and pushes them onto each shard's lock-free SPSC ring. Every shard runs
+// the shard-local core carved out of OnlineEngine — a StreamStore fed from
+// its ring on a dedicated worker thread — so ingestion-state maintenance
+// (copying, ordering, eviction bookkeeping) scales with shards while the
+// collector side only pays hash + ring push per record.
+//
+// The coordinator (poll()/finish(), called on the steering thread) owns
+// the window lifecycle. Queue-based diagnosis is a cross-flow computation —
+// a queuing period at an NF interleaves every flow's records — so shards
+// cannot diagnose their flow-partitioned slices independently and still
+// match the single-shard output. Instead the coordinator:
+//   1. advances the per-node watermarks exactly as OnlineEngine does (fed
+//      on the steering thread, before any split);
+//   2. on window close, waits for every shard's drain watermark — the
+//      global ingest sequence its worker has published — to reach the last
+//      sequence steered to it (the global watermark is the min across
+//      shards), after which the rings are empty and the shard stores
+//      quiescent;
+//   3. collects each shard store's slice of the window, regroups
+//      sub-batches by ingest sequence, scatters packets back to their
+//      recorded origin positions, and replays the reassembled records in
+//      sequence order into a throwaway Collector — reconstructing the
+//      byte-exact record stream the single-shard StreamStore would have
+//      materialized;
+//   4. hands the slice to the shared WindowDiagnoser.
+// Byte-identical window output is therefore structural, not coincidental:
+// the merge inverts the split exactly (the determinism suite proves it on
+// the PR 1/PR 2 harness), and everything downstream is the same code.
+//
+// Shards can be added or removed between records: the Maglev table remaps
+// only ~1/N of the flow keyspace, already-steered records stay where they
+// land (the merge does not care which store holds a sub-batch), and a
+// removed shard's store simply drains out through eviction while new
+// records steer elsewhere. Mid-window reconfiguration is safe for the same
+// reason the merge exists at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "collector/wire.hpp"
+#include "common/packet.hpp"
+#include "common/time.hpp"
+#include "online/aggregator.hpp"
+#include "online/stream_store.hpp"
+#include "online/stream_target.hpp"
+#include "online/window.hpp"
+#include "online/window_diagnoser.hpp"
+#include "shard/maglev.hpp"
+#include "shard/spsc_ring.hpp"
+
+namespace microscope::shard {
+
+struct ShardedOptions {
+  /// Initial shard count (>= 1).
+  std::size_t shards = 2;
+  /// Per-shard ring capacity in records (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 12;
+  /// What the steering thread does when a shard's ring is full. kBlock
+  /// (default) preserves the lossless determinism guarantee; kDrop keeps
+  /// the steering thread wait-free and counts overruns (the overrun-storm
+  /// chaos mode).
+  RingFullPolicy ring_full = RingFullPolicy::kBlock;
+  /// Maglev steering table size (prime).
+  std::size_t maglev_table_size = MaglevTable::kDefaultTableSize;
+  /// Spawn one worker thread per shard (production topology). When false,
+  /// rings are drained inline on the steering thread at poll/barrier time
+  /// — the deterministic single-thread mode the equivalence matrix and the
+  /// steering-throughput bench use.
+  bool spawn_workers = true;
+  /// Window/diagnosis/decode options, shared with the single-shard engine.
+  online::OnlineOptions online{};
+};
+
+/// One record as steered to a shard: a sub-batch of the original record
+/// plus the bookkeeping the merge needs to reassemble it (see StreamBatch).
+struct ShardRecord {
+  collector::Direction dir{collector::Direction::kRx};
+  NodeId node{kInvalidNode};
+  NodeId peer{kInvalidNode};
+  TimeNs ts{0};
+  std::uint64_t seq{0};
+  std::uint16_t origin_count{0};
+  std::vector<Packet> pkts;
+  std::vector<std::uint16_t> origin;  // empty = identity (whole record)
+};
+
+/// Per-shard monitoring snapshot (see ShardedEngine::stats).
+struct ShardSnapshot {
+  std::uint32_t slot{0};
+  bool retired{false};
+  std::uint64_t records_steered{0};
+  std::uint64_t packets_steered{0};
+  std::uint64_t ring_overruns{0};
+  std::size_t ring_depth{0};
+  /// Drain watermark: global ingest sequence the worker has published.
+  std::uint64_t drained_seq{0};
+  std::size_t retained_batches{0};
+};
+
+struct ShardedStats {
+  std::uint64_t records_ingested{0};
+  std::uint64_t packets_ingested{0};
+  /// Sub-batches pushed to rings (>= records when records split).
+  std::uint64_t subbatches_steered{0};
+  std::uint64_t late_dropped_batches{0};
+  std::uint64_t backpressure_dropped_batches{0};
+  /// Sub-batches dropped on full rings under RingFullPolicy::kDrop.
+  std::uint64_t ring_overruns{0};
+  std::uint64_t wire_decode_dropped{0};
+  std::uint64_t windows_closed{0};
+  std::uint64_t windows_idle_forced{0};
+  std::uint64_t windows_skipped_empty{0};
+  std::vector<ShardSnapshot> shards;
+};
+
+/// The multi-shard StreamTarget. Not thread-safe by itself: the ingestion
+/// API, poll/finish, and add/remove_shard must all be called from one
+/// thread (the steering thread); the per-shard workers are internal.
+class ShardedEngine : public online::StreamTarget {
+ public:
+  ShardedEngine(trace::GraphView graph, std::vector<RatePerNs> peak_rates,
+                ShardedOptions opts = {});
+  ~ShardedEngine() override;
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  void register_node(NodeId id, bool full_flow) override;
+  void on_rx(NodeId id, TimeNs ts, std::span<const Packet> batch) override;
+  void on_tx(NodeId id, NodeId peer, TimeNs ts,
+             std::span<const Packet> batch) override;
+  void feed_bytes(std::span<const std::byte> bytes) override;
+  void set_wire_framing(collector::WireFraming framing) override;
+  std::vector<online::WindowResult> poll() override;
+  std::vector<online::WindowResult> finish() override;
+
+  // --- live resharding --------------------------------------------------
+  /// Add a shard; only ~1/(N+1) of the flow keyspace re-steers. Returns
+  /// the new shard's slot id.
+  std::uint32_t add_shard();
+  /// Retire the shard with `slot`: new records steer elsewhere
+  /// (remapping ~1/N of the keyspace), its store stays mergeable and
+  /// drains out through normal eviction. Throws when `slot` is unknown,
+  /// already retired, or the last active shard.
+  void remove_shard(std::uint32_t slot);
+
+  /// Active (non-retired) shard slot ids, in steering order.
+  std::vector<std::uint32_t> active_slots() const;
+  const MaglevTable& steering_table() const { return maglev_; }
+
+  /// Shard `slot`'s steering key ownership: true when `key` maps to it.
+  bool owns_key(std::uint32_t slot, std::uint64_t key) const {
+    return maglev_.lookup(key) == slot;
+  }
+
+  /// Steering key for a packet: flow_hash of the five-tuple when one is
+  /// carried, the mixed IPID otherwise. Exposed for the disruption tests.
+  static std::uint64_t steering_key(const Packet& p);
+
+  // --- test hooks -------------------------------------------------------
+  /// Pause/resume shard `slot`'s worker (stalled-worker chaos scenario).
+  /// A paused worker stops draining its ring; resume before the next
+  /// poll/finish or the coordinator's barrier will wait forever.
+  void set_worker_paused(std::uint32_t slot, bool paused);
+
+  /// spawn_workers=false only: drain every ring inline (poll/finish do
+  /// this themselves; the bench calls it to move drain cost out of the
+  /// timed steering loop).
+  void drain_inline();
+
+  const collector::DecodeStats& decode_stats() const {
+    return decoder_.stats();
+  }
+  const online::StreamingAggregator& aggregator() const { return agg_; }
+  const online::WindowManager& windows() const { return wm_; }
+  DurationNs history_ns() const { return wd_.history_ns(); }
+
+  /// Stats snapshot. Steering-thread only (like the rest of the API);
+  /// barriers the workers first so the per-shard store counters are a
+  /// consistent cut.
+  ShardedStats stats();
+
+ private:
+  struct Shard {
+    std::uint32_t slot;
+    SpscRing<ShardRecord> ring;
+    online::StreamStore store;
+    /// Global ingest seq of the last record the worker moved into the
+    /// store (the shard's drain watermark). Release-published after the
+    /// store write; the coordinator's acquire read is the happens-before
+    /// edge that makes the store safe to merge/evict.
+    std::atomic<std::uint64_t> drained_seq{0};
+    std::atomic<bool> stop{false};
+    std::atomic<bool> paused{false};
+    /// Steering-thread bookkeeping (no concurrent access).
+    std::uint64_t pushed_seq{0};
+    std::uint64_t records_steered{0};
+    std::uint64_t packets_steered{0};
+    std::uint64_t overruns{0};
+    bool retired{false};
+    std::thread worker;
+
+    Shard(std::uint32_t s, std::size_t ring_capacity)
+        : slot(s), ring(ring_capacity) {}
+  };
+
+  void ingest(collector::Direction dir, NodeId node, NodeId peer, TimeNs ts,
+              std::span<const Packet> pkts);
+  void steer(Shard& sh, ShardRecord rec);
+  void worker_main(Shard& sh);
+  /// Pop everything currently in `sh`'s ring into its store (steering
+  /// thread; workerless shards or retired-shard cleanup).
+  void drain_shard_inline(Shard& sh);
+  /// Wait until every shard's drain watermark reaches its pushed_seq.
+  void barrier_all();
+  Shard& make_shard();
+  Shard& find_shard(std::uint32_t slot);
+  void stop_worker(Shard& sh);
+  std::vector<online::WindowResult> close_ready(bool finishing);
+  collector::Collector merge_slice(TimeNs lo, TimeNs hi, TimeNs tx_lo) const;
+  /// `stores_quiescent`: the caller has barriered, so the shard stores may
+  /// be read (retained counts); otherwise only ring/steering gauges move.
+  void refresh_gauges(bool stores_quiescent);
+
+  ShardedOptions opts_;
+  online::WindowDiagnoser wd_;
+  online::WindowManager wm_;
+  online::StreamingAggregator agg_;
+  collector::WireCallbackDecoder decoder_;
+  MaglevTable maglev_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // active + retired
+  std::uint32_t next_slot_{0};
+  std::uint64_t next_seq_{1};  // 0 = "nothing drained yet"
+  /// Node registrations, replicated into every shard store (and late-added
+  /// shards) so any shard can hold any node's sub-batches.
+  std::vector<bool> node_registered_;
+  std::vector<bool> node_full_flow_;
+  ShardedStats stats_;
+  /// Backpressure bookkeeping: aggregate retained sub-batches as of the
+  /// last poll, plus records accepted since (see OnlineOptions::
+  /// max_retained_batches — the sharded gate is per-poll coarse).
+  std::size_t retained_at_poll_{0};
+  std::size_t accepted_since_poll_{0};
+  // Scratch for the per-record split (reused; indexed by shard position).
+  std::vector<ShardRecord> split_scratch_;
+  std::vector<std::uint32_t> split_touched_;
+};
+
+}  // namespace microscope::shard

@@ -1,0 +1,92 @@
+// Cache-line-padded lock-free SPSC record ring for flow-sharded ingestion.
+//
+// Generalizes the collector's byte ring (collector/ring.hpp) to typed
+// payloads: the steering thread moves whole decoded sub-batches to a shard
+// worker without re-encoding them to wire bytes. One producer (the steering
+// thread) and one consumer (the shard worker) synchronize through two
+// atomic cursors on separate cache lines; slots are plain storage — the
+// release-store on `tail_` publishes the slot write, the acquire-load on
+// the opposite cursor makes it visible, so no per-slot atomics are needed.
+//
+// Capacity is rounded up to a power of two. The ring never blocks by
+// itself: `try_push` fails when full and the caller picks the policy —
+// the engine's default is to spin (lossless, preserves the determinism
+// guarantee), its overrun-storm mode drops and counts.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace microscope::shard {
+
+/// What the producer does when the ring is full.
+enum class RingFullPolicy {
+  kBlock,  ///< Spin-yield until the consumer frees a slot (lossless).
+  kDrop,   ///< Drop the record and count an overrun (never stalls ingest).
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer: move `value` into the ring. False when full (value is left
+  /// intact so the caller can retry or drop it).
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: move the oldest record into `out`. False when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Records currently queued. Racy by nature — a monitoring value, not a
+  /// synchronization primitive.
+  std::size_t size() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Producer-owned line: its cursor plus a cached copy of the consumer's,
+  // refreshed only when the ring looks full (and vice versa below) — the
+  // common case touches no shared line but its own.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_{0};
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_{0};
+};
+
+}  // namespace microscope::shard

@@ -1,0 +1,133 @@
+// Maglev steering table: balance, determinism, and the headline
+// consistency property — adding or removing one backend remaps only about
+// 1/N of the table, and surviving backends keep (almost all of) their
+// entries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "shard/maglev.hpp"
+
+namespace microscope::shard {
+namespace {
+
+std::vector<std::uint32_t> slots(std::uint32_t n) {
+  std::vector<std::uint32_t> ids(n);
+  for (std::uint32_t i = 0; i < n; ++i) ids[i] = i;
+  return ids;
+}
+
+std::map<std::uint32_t, std::size_t> ownership_counts(const MaglevTable& t) {
+  std::map<std::uint32_t, std::size_t> counts;
+  for (std::size_t e = 0; e < t.table_size(); ++e)
+    ++counts[t.lookup(e)];  // e < table_size, so e % size == e: entry e
+  return counts;
+}
+
+TEST(Maglev, RejectsNonPrimeTableAndEmptyBackends) {
+  EXPECT_THROW(MaglevTable(4096), std::invalid_argument);
+  EXPECT_THROW(MaglevTable(0), std::invalid_argument);
+  MaglevTable t(4099);
+  EXPECT_THROW(t.rebuild({}), std::invalid_argument);
+  EXPECT_THROW(t.lookup(7), std::logic_error);  // before rebuild
+}
+
+TEST(Maglev, CoversAllBackendsNearUniformly) {
+  MaglevTable t(4099);
+  t.rebuild(slots(8));
+  const auto counts = ownership_counts(t);
+  ASSERT_EQ(counts.size(), 8u);
+  const double expect = 4099.0 / 8.0;
+  for (const auto& [slot, n] : counts) {
+    EXPECT_GT(static_cast<double>(n), expect * 0.8) << "slot " << slot;
+    EXPECT_LT(static_cast<double>(n), expect * 1.2) << "slot " << slot;
+  }
+}
+
+TEST(Maglev, LookupIsDeterministic) {
+  MaglevTable a(709), b(709);
+  a.rebuild(slots(5));
+  b.rebuild(slots(5));
+  EXPECT_EQ(a.entries_differing(b), 0u);
+  for (std::uint64_t key : {0ull, 1ull, 0xDEADBEEFull, ~0ull})
+    EXPECT_EQ(a.lookup(key), b.lookup(key));
+}
+
+TEST(Maglev, AddingOneBackendRemapsAboutOneNth) {
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    MaglevTable before(4099), after(4099);
+    before.rebuild(slots(n));
+    auto ids = slots(n);
+    ids.push_back(n);  // the new shard's slot id
+    after.rebuild(ids);
+
+    const std::size_t moved = before.entries_differing(after);
+    const double ideal = 4099.0 / (n + 1);
+    // The permutation fill gives near-minimal disruption; allow 2x the
+    // ideal share, which is still far from the ~all a mod-N rehash moves.
+    EXPECT_LT(static_cast<double>(moved), ideal * 2.0) << "n=" << n;
+    EXPECT_GT(moved, 0u) << "n=" << n;
+
+    // Moved entries should overwhelmingly land on the new backend; only a
+    // small residue shuffles between survivors.
+    std::size_t to_new = 0;
+    for (std::size_t e = 0; e < after.table_size(); ++e)
+      if (after.lookup(e) != before.lookup(e) && after.lookup(e) == n)
+        ++to_new;
+    EXPECT_GT(static_cast<double>(to_new), 0.8 * static_cast<double>(moved))
+        << "n=" << n;
+  }
+}
+
+TEST(Maglev, RemovingOneBackendOnlyRedistributesItsEntries) {
+  const std::uint32_t n = 8;
+  MaglevTable before(4099), after(4099);
+  before.rebuild(slots(n));
+  auto ids = slots(n);
+  ids.erase(ids.begin() + 3);  // retire slot 3
+  after.rebuild(ids);
+
+  std::size_t removed_owned = 0, moved_other = 0;
+  for (std::size_t e = 0; e < before.table_size(); ++e) {
+    if (before.lookup(e) == 3) {
+      ++removed_owned;
+      EXPECT_NE(after.lookup(e), 3u);
+    } else if (after.lookup(e) != before.lookup(e)) {
+      ++moved_other;
+    }
+  }
+  // Every orphaned entry redistributes; collateral movement between
+  // survivors stays a small fraction of the removed backend's share.
+  EXPECT_GT(removed_owned, 0u);
+  EXPECT_LT(static_cast<double>(moved_other),
+            0.5 * static_cast<double>(removed_owned));
+}
+
+TEST(Maglev, SlotIdsNeedNotBeDense) {
+  MaglevTable t(709);
+  t.rebuild({2, 17, 40000});
+  const auto counts = ownership_counts(t);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_TRUE(counts.count(2));
+  EXPECT_TRUE(counts.count(17));
+  EXPECT_TRUE(counts.count(40000));
+}
+
+TEST(Maglev, MixKeySpreadsSmallIntegers) {
+  // IPIDs occupy [0, 65536); after mixing, lookups should spread over all
+  // backends rather than aliasing into a few table entries.
+  MaglevTable t(4099);
+  t.rebuild(slots(8));
+  std::map<std::uint32_t, std::size_t> counts;
+  for (std::uint64_t ipid = 0; ipid < 4096; ++ipid)
+    ++counts[t.lookup(mix_key(ipid))];
+  ASSERT_EQ(counts.size(), 8u);
+  for (const auto& [slot, cnt] : counts)
+    EXPECT_GT(cnt, 4096u / 8 / 2) << "slot " << slot;
+}
+
+}  // namespace
+}  // namespace microscope::shard

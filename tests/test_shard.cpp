@@ -1,0 +1,336 @@
+// Flow-sharded ingestion determinism: the headline property is that the
+// ShardedEngine's closed-window diagnoses are byte-identical to the
+// single-shard OnlineEngine's for any shard count, drain chunk size, and
+// worker mode — the Maglev split is inverted exactly by the coordinator's
+// sequence/origin merge before the shared WindowDiagnoser runs. Plus:
+// mid-stream shard add/remove (only remapped flows re-steer, results stay
+// identical), the byte-fed file-tailing path, steering balance, and
+// backpressure accounting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "collector/file.hpp"
+#include "core/diagnosis.hpp"
+#include "eval/scenarios.hpp"
+#include "nf/inject.hpp"
+#include "nf/traffic.hpp"
+#include "online/engine.hpp"
+#include "online/replay.hpp"
+#include "shard/maglev.hpp"
+#include "shard/sharded_engine.hpp"
+#include "sim/simulator.hpp"
+#include "trace/graph.hpp"
+
+namespace microscope::shard {
+namespace {
+
+using online::OnlineEngine;
+using online::OnlineOptions;
+using online::WindowResult;
+
+struct Scenario {
+  collector::Collector col;
+  trace::GraphView graph;
+  DurationNs prop_delay{0};
+  std::vector<RatePerNs> rates;
+};
+
+Scenario make_fig10_scenario() {
+  Scenario s;
+  sim::Simulator sim;
+  auto net = eval::build_fig10(sim, &s.col);
+  nf::CaidaLikeOptions topts;
+  topts.duration = 10_ms;
+  topts.rate_mpps = 1.0;
+  topts.num_flows = 300;
+  net.topo->source(net.source).load(nf::generate_caida_like(topts));
+  nf::InjectionLog log;
+  nf::schedule_interrupt(sim, net.topo->nf(net.nats[0]), 4_ms, 600_us, log);
+  sim.run_until(24_ms);
+  s.graph = trace::graph_view(*net.topo);
+  s.prop_delay = net.topo->options().prop_delay;
+  s.rates = net.topo->peak_rates();
+  return s;
+}
+
+Scenario make_fig2_scenario() {
+  Scenario s;
+  sim::Simulator sim;
+  auto net = eval::build_fig2(sim, &s.col);
+  nf::CaidaLikeOptions topts;
+  topts.duration = 20_ms;
+  topts.rate_mpps = 0.7;
+  topts.seed = 3;
+  net.topo->source(net.caida_source).load(nf::generate_caida_like(topts));
+  const FiveTuple flow_a{make_ipv4(10, 0, 1, 1), make_ipv4(20, 0, 1, 1), 4242,
+                         443, 6};
+  net.topo->source(net.flow_a_source)
+      .load(nf::generate_constant_rate(flow_a, 0, 20_ms, 0.05));
+  nf::InjectionLog log;
+  nf::schedule_interrupt(sim, net.topo->nf(net.nat), 8_ms, 800_us, log);
+  sim.run_until(35_ms);
+  s.graph = trace::graph_view(*net.topo);
+  s.prop_delay = net.topo->options().prop_delay;
+  s.rates = net.topo->peak_rates();
+  return s;
+}
+
+OnlineOptions base_options(const Scenario& s, DurationNs window,
+                           DurationNs threshold) {
+  OnlineOptions oopt;
+  oopt.window_ns = window;
+  oopt.slack_ns = 5_ms;
+  oopt.latency_threshold = threshold;
+  oopt.diagnoser.max_depth = 5;
+  oopt.diagnoser.period.max_lookback = 3_ms;
+  oopt.reconstruct.prop_delay = s.prop_delay;
+  return oopt;
+}
+
+core::Diagnosis normalized(core::Diagnosis d) {
+  d.victim.journey = 0;  // reconstruction-instance-local bookkeeping
+  return d;
+}
+
+void expect_same_windows(const std::vector<WindowResult>& got,
+                         const std::vector<WindowResult>& golden,
+                         const std::string& label) {
+  ASSERT_EQ(got.size(), golden.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, golden[i].index) << label << " window " << i;
+    EXPECT_EQ(got[i].start, golden[i].start) << label << " window " << i;
+    EXPECT_EQ(got[i].end, golden[i].end) << label << " window " << i;
+    EXPECT_EQ(got[i].idle_forced, golden[i].idle_forced)
+        << label << " window " << i;
+    EXPECT_EQ(got[i].journeys, golden[i].journeys) << label << " window " << i;
+    ASSERT_EQ(got[i].diagnoses.size(), golden[i].diagnoses.size())
+        << label << " window " << i;
+    for (std::size_t d = 0; d < got[i].diagnoses.size(); ++d)
+      EXPECT_EQ(normalized(got[i].diagnoses[d]),
+                normalized(golden[i].diagnoses[d]))
+          << label << " window " << i << " diagnosis " << d;
+  }
+}
+
+std::vector<WindowResult> run_single(const Scenario& s,
+                                     const OnlineOptions& oopt,
+                                     std::size_t poll_every) {
+  OnlineEngine eng(s.graph, s.rates, oopt);
+  return online::replay_collector(s.col, eng, poll_every);
+}
+
+TEST(Shard, EquivalenceMatrixFig10) {
+  const Scenario s = make_fig10_scenario();
+  const OnlineOptions oopt = base_options(s, 5_ms, 100_us);
+  const auto golden = run_single(s, oopt, 64);
+  ASSERT_FALSE(golden.empty());
+
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t poll_every : {std::size_t{7}, std::size_t{256}}) {
+      for (const bool workers : {false, true}) {
+        ShardedOptions sopt;
+        sopt.shards = shards;
+        sopt.spawn_workers = workers;
+        sopt.online = oopt;
+        ShardedEngine eng(s.graph, s.rates, sopt);
+        const auto windows = online::replay_collector(s.col, eng, poll_every);
+        expect_same_windows(
+            windows, golden,
+            "shards=" + std::to_string(shards) +
+                " chunk=" + std::to_string(poll_every) +
+                (workers ? " workers" : " inline"));
+      }
+    }
+  }
+}
+
+TEST(Shard, EquivalenceFig2Propagation) {
+  const Scenario s = make_fig2_scenario();
+  const OnlineOptions oopt = base_options(s, 10_ms, 60_us);
+  const auto golden = run_single(s, oopt, 64);
+  ASSERT_FALSE(golden.empty());
+
+  for (const std::size_t shards : {2u, 8u}) {
+    ShardedOptions sopt;
+    sopt.shards = shards;
+    sopt.online = oopt;
+    ShardedEngine eng(s.graph, s.rates, sopt);
+    const auto windows = online::replay_collector(s.col, eng, 64);
+    expect_same_windows(windows, golden,
+                        "fig2 shards=" + std::to_string(shards));
+  }
+}
+
+TEST(Shard, ByteFedFileTailMatchesSingleShard) {
+  const Scenario s = make_fig10_scenario();
+  const OnlineOptions oopt = base_options(s, 5_ms, 100_us);
+  const std::string path = "/tmp/microscope_test_shard_stream.trace";
+  collector::save_trace_stream(s.col, path);
+
+  OnlineEngine single(s.graph, s.rates, oopt);
+  online::TraceFileTailer single_tail(path, single);
+  const auto golden = single_tail.drain_to_end(1 << 10);
+  ASSERT_FALSE(golden.empty());
+
+  ShardedOptions sopt;
+  sopt.shards = 4;
+  sopt.online = oopt;
+  ShardedEngine sharded(s.graph, s.rates, sopt);
+  online::TraceFileTailer shard_tail(path, sharded);
+  const auto windows = shard_tail.drain_to_end(1 << 10);
+  expect_same_windows(windows, golden, "file tail shards=4");
+
+  const ShardedStats st = sharded.stats();
+  EXPECT_GT(st.records_ingested, 0u);
+  EXPECT_EQ(st.wire_decode_dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Shard, MidStreamAddOnlyRemapsMaglevShare) {
+  const Scenario s = make_fig10_scenario();
+  const OnlineOptions oopt = base_options(s, 5_ms, 100_us);
+  const std::string path = "/tmp/microscope_test_shard_add.trace";
+  collector::save_trace_stream(s.col, path);
+
+  // Golden through the same byte-fed path the sharded run uses.
+  OnlineEngine single(s.graph, s.rates, oopt);
+  online::TraceFileTailer single_tail(path, single);
+  const auto golden = single_tail.drain_to_end(1 << 12);
+  ASSERT_FALSE(golden.empty());
+
+  ShardedOptions sopt;
+  sopt.shards = 2;
+  sopt.online = oopt;
+  ShardedEngine eng(s.graph, s.rates, sopt);
+
+  // Snapshot steering before the add, grow the fleet halfway through the
+  // byte stream (plenty of records left to land on the new shard),
+  // snapshot again.
+  MaglevTable before(sopt.maglev_table_size);
+  before.rebuild(eng.active_slots());
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const std::size_t half = static_cast<std::size_t>(probe.tellg()) / 2;
+  online::TraceFileTailer tail(path, eng);
+  std::vector<WindowResult> windows;
+  std::size_t fed = 0;
+  while (fed < half) {
+    const std::size_t n = tail.pump(1 << 12);
+    ASSERT_GT(n, 0u) << "stream shorter than expected";
+    fed += n;
+    for (auto& w : eng.poll()) windows.push_back(std::move(w));
+  }
+  eng.add_shard();
+  EXPECT_EQ(eng.active_slots().size(), 3u);
+  for (auto& w : tail.drain_to_end(1 << 12)) windows.push_back(std::move(w));
+
+  // Window results are still byte-identical to the single-shard path.
+  expect_same_windows(windows, golden, "mid-stream add");
+
+  // Only the Maglev disruption share re-steered: the table diff is near
+  // 1/(N+1), far from a full rehash, and every flow whose entry kept its
+  // owner keeps steering to the same shard by construction.
+  MaglevTable after(sopt.maglev_table_size);
+  after.rebuild(eng.active_slots());
+  const std::size_t moved = before.entries_differing(after);
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(static_cast<double>(moved),
+            2.0 * static_cast<double>(before.table_size()) / 3.0);
+
+  // The new shard actually took traffic after the cutover.
+  const ShardedStats st = eng.stats();
+  ASSERT_EQ(st.shards.size(), 3u);
+  EXPECT_GT(st.shards[2].records_steered, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Shard, MidStreamRemoveDrainsOutAndStaysIdentical) {
+  const Scenario s = make_fig10_scenario();
+  const OnlineOptions oopt = base_options(s, 5_ms, 100_us);
+  const std::string path = "/tmp/microscope_test_shard_remove.trace";
+  collector::save_trace_stream(s.col, path);
+
+  OnlineEngine single(s.graph, s.rates, oopt);
+  online::TraceFileTailer single_tail(path, single);
+  const auto golden = single_tail.drain_to_end(1 << 12);
+  ASSERT_FALSE(golden.empty());
+
+  ShardedOptions sopt;
+  sopt.shards = 4;
+  sopt.online = oopt;
+  ShardedEngine eng(s.graph, s.rates, sopt);
+  std::ifstream probe(path, std::ios::binary | std::ios::ate);
+  const std::size_t half = static_cast<std::size_t>(probe.tellg()) / 2;
+  online::TraceFileTailer tail(path, eng);
+  std::vector<WindowResult> windows;
+  std::size_t fed = 0;
+  while (fed < half) {
+    const std::size_t n = tail.pump(1 << 12);
+    ASSERT_GT(n, 0u) << "stream shorter than expected";
+    fed += n;
+    for (auto& w : eng.poll()) windows.push_back(std::move(w));
+  }
+  // Retire shard 1 mid-stream: its store keeps its already-steered records
+  // (they merge like everyone else's and drain out through eviction) while
+  // new records steer to the three survivors.
+  eng.remove_shard(1);
+  for (auto& w : tail.drain_to_end(1 << 12)) windows.push_back(std::move(w));
+  expect_same_windows(windows, golden, "mid-stream remove");
+  std::remove(path.c_str());
+
+  const ShardedStats st = eng.stats();
+  ASSERT_EQ(st.shards.size(), 4u);
+  EXPECT_TRUE(st.shards[1].retired);
+  const auto slots = eng.active_slots();
+  EXPECT_EQ(slots.size(), 3u);
+  for (const std::uint32_t slot : slots) EXPECT_NE(slot, 1u);
+}
+
+TEST(Shard, SteeringSpreadsRecordsAcrossShards) {
+  const Scenario s = make_fig10_scenario();
+  ShardedOptions sopt;
+  sopt.shards = 4;
+  sopt.online = base_options(s, 5_ms, 100_us);
+  ShardedEngine eng(s.graph, s.rates, sopt);
+  online::replay_collector(s.col, eng, 256);
+  const ShardedStats st = eng.stats();
+  ASSERT_EQ(st.shards.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& sh : st.shards) {
+    EXPECT_GT(sh.packets_steered, 0u) << "slot " << sh.slot;
+    total += sh.packets_steered;
+  }
+  // Every shard carries a nontrivial share (>= a third of fair share).
+  for (const auto& sh : st.shards)
+    EXPECT_GT(sh.packets_steered, total / 4 / 3) << "slot " << sh.slot;
+  EXPECT_EQ(st.ring_overruns, 0u);
+}
+
+TEST(Shard, RemoveLastShardRefused) {
+  const Scenario s = make_fig10_scenario();
+  ShardedOptions sopt;
+  sopt.shards = 1;
+  sopt.online = base_options(s, 5_ms, 100_us);
+  ShardedEngine eng(s.graph, s.rates, sopt);
+  EXPECT_THROW(eng.remove_shard(0), std::invalid_argument);
+  EXPECT_THROW(eng.remove_shard(42), std::logic_error);
+}
+
+TEST(Shard, BackpressureDropsAreCounted) {
+  const Scenario s = make_fig10_scenario();
+  ShardedOptions sopt;
+  sopt.shards = 2;
+  sopt.online = base_options(s, 5_ms, 100_us);
+  sopt.online.max_retained_batches = 50;  // far below the stream's needs
+  ShardedEngine eng(s.graph, s.rates, sopt);
+  online::replay_collector(s.col, eng, 32);
+  const ShardedStats st = eng.stats();
+  EXPECT_GT(st.backpressure_dropped_batches, 0u);
+  EXPECT_GT(st.windows_closed, 0u);  // degraded, not wedged
+}
+
+}  // namespace
+}  // namespace microscope::shard

@@ -1,0 +1,132 @@
+// SPSC shard ring: single-thread semantics (FIFO, capacity, full/empty
+// edges, move-only payloads) plus a two-thread producer/consumer stress
+// that the TSan CI job runs — the ring's only synchronization is the two
+// release/acquire cursors, so any missing edge shows up here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "shard/spsc_ring.hpp"
+
+namespace microscope::shard {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoOrderAndFullEmptyEdges) {
+  SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  int out = -1;
+  EXPECT_FALSE(ring.try_pop(out));
+
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    EXPECT_TRUE(ring.try_push(v)) << i;
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  int overflow = 99;
+  EXPECT_FALSE(ring.try_push(overflow));
+  EXPECT_EQ(overflow, 99);  // left intact on failure
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapAroundManyCycles) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0, next_pop = 0;
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    for (int i = 0; i < 5; ++i) {
+      std::uint64_t v = next_push;
+      ASSERT_TRUE(ring.try_push(v));
+      ++next_push;
+    }
+    std::uint64_t out;
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  auto p = std::make_unique<int>(42);
+  ASSERT_TRUE(ring.try_push(p));
+  EXPECT_EQ(p, nullptr);  // moved out
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscRing, TwoThreadStressPreservesSequence) {
+  // Small capacity forces constant wrap and full/empty contention.
+  SpscRing<std::uint64_t> ring(64);
+  constexpr std::uint64_t kCount = 200000;
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      std::uint64_t v = i;
+      while (!ring.try_push(v)) std::this_thread::yield();
+    }
+  });
+
+  std::uint64_t expected = 0;
+  std::uint64_t out;
+  while (expected < kCount) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, TwoThreadStressVectorPayload) {
+  // Non-trivial payloads exercise the slot move under concurrency (the
+  // ShardRecord case: vectors crossing the ring).
+  SpscRing<std::vector<int>> ring(32);
+  constexpr int kCount = 20000;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<int> v{i, i + 1, i + 2};
+      while (!ring.try_push(v)) std::this_thread::yield();
+    }
+  });
+
+  int expected = 0;
+  std::vector<int> out;
+  while (expected < kCount) {
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out.size(), 3u);
+      ASSERT_EQ(out[0], expected);
+      ASSERT_EQ(out[2], expected + 2);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace microscope::shard
