@@ -6,6 +6,7 @@
 // implied degradation at each NF type's peak rate.
 #include "bench_main.hpp"
 
+#include "common/crc32c.hpp"
 #include "microscope/microscope.hpp"
 
 using namespace microscope;
@@ -59,6 +60,39 @@ void BM_RingCollector_RxTx(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
 }
 BENCHMARK(BM_RingCollector_RxTx)->Arg(8)->Arg(32);
+
+// CRC32C kernel cost, hardware instruction vs table-driven software, over
+// the frame sizes the v2 wire format actually produces (a 32-packet batch
+// frame is ~1KB). bytes_per_second is the headline; the hw/sw ratio at
+// equal size is the dispatch win reported in EXPERIMENTS.md.
+void BM_Crc32cHw(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(len);
+  for (std::size_t i = 0; i < len; ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  std::uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = crc32c_hw(buf.data(), buf.size(), crc);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(len));
+  state.counters["hw_instruction"] = crc32c_hw_supported() ? 1.0 : 0.0;
+}
+BENCHMARK(BM_Crc32cHw)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_Crc32cSw(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> buf(len);
+  for (std::size_t i = 0; i < len; ++i)
+    buf[i] = static_cast<std::uint8_t>(i * 131 + 17);
+  std::uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = crc32c_sw(buf.data(), buf.size(), crc);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_Crc32cSw)->Arg(64)->Arg(1024)->Arg(4096);
 
 void BM_WireEncode(benchmark::State& state) {
   const auto batch = make_batch(32);

@@ -36,14 +36,19 @@ BUILD_TYPE_KEY = "__build_type__"
 
 
 def load_results(paths):
-    """-> ({key: cpu_time_ns}, build_type, {file stems}).
+    """-> ({key: cpu_time_ns}, build_type, {file stems}, {simd caps}).
 
     key = '<file-stem>/<benchmark name>'. Aborts (exit 2) when the input
     reports disagree about (or omit) the build type they were compiled as.
+    The simd capability strings ("microscope_simd" context, stamped by
+    bench_main.hpp) are collected for the --report artifact; unlike the
+    build type they may legitimately vary (a forced-scalar leg), so they
+    are recorded, not enforced.
     """
     results = {}
     stems = set()
     build_type = None
+    simd_caps = set()
     for path in paths:
         stem = os.path.basename(path)
         if stem.startswith("BENCH_"):
@@ -63,13 +68,16 @@ def load_results(paths):
         elif bt != build_type:
             sys.exit(f"ERROR: mixed build types in inputs: {path} is "
                      f"'{bt}' but earlier files are '{build_type}'")
+        caps = report.get("context", {}).get("microscope_simd")
+        if caps:
+            simd_caps.add(caps)
         for bench in report.get("benchmarks", []):
             # Skip aggregate rows (mean/median/stddev of repetitions).
             if bench.get("run_type") == "aggregate":
                 continue
             ns = to_ns(bench["cpu_time"], bench.get("time_unit", "ns"))
             results[f"{stem}/{bench['name']}"] = ns
-    return results, build_type, stems
+    return results, build_type, stems, simd_caps
 
 
 def to_ns(value, unit):
@@ -77,6 +85,27 @@ def to_ns(value, unit):
     if unit not in scale:
         sys.exit(f"unknown time_unit {unit!r}")
     return value * scale[unit]
+
+
+def cpu_flags():
+    """ISA feature flags of the machine that ran the benches (best effort).
+
+    Read from /proc/cpuinfo so the --report artifact records whether the
+    runner actually had sse4_2/avx2 — a "scalar" capability string on a
+    runner whose cpu advertises avx2 means a forced-scalar build, while
+    the same string on a cpu without the flags is plain hardware limits.
+    """
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith(("flags", "Features")):
+                    flags = set(line.split(":", 1)[1].split())
+                    interesting = {"sse4_2", "avx2", "avx512f", "crc32",
+                                   "asimd", "neon", "pclmulqdq"}
+                    return sorted(flags & interesting)
+    except OSError:
+        pass
+    return []
 
 
 def main():
@@ -93,10 +122,16 @@ def main():
         action="store_true",
         help="rewrite the baseline from the given results instead of checking",
     )
+    ap.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write a JSON artifact: per-benchmark ratios vs baseline, "
+        "build type, simd capability strings, and the runner's cpu flags",
+    )
     ap.add_argument("results", nargs="+", help="BENCH_*.json files")
     args = ap.parse_args()
 
-    results, build_type, stems = load_results(args.results)
+    results, build_type, stems, simd_caps = load_results(args.results)
     if not results:
         sys.exit("no benchmark entries found in the given files")
 
@@ -127,17 +162,33 @@ def main():
 
     failures = []
     new = []
+    improvements = []
+    compared = {}
     for key, ns in sorted(results.items()):
         ref = baseline.get(key)
         if ref is None:
             new.append(key)
             continue
         ratio = ns / ref if ref > 0 else float("inf")
-        marker = "FAIL" if ratio > 1.0 + args.threshold else "ok"
-        print(f"{marker:4} {key}: {ns / 1e6:.3f} ms vs baseline "
-              f"{ref / 1e6:.3f} ms ({ratio - 1.0:+.1%})")
-        if marker == "FAIL":
+        compared[key] = {"cpu_time_ns": round(ns, 1),
+                         "baseline_ns": ref,
+                         "ratio": round(ratio, 4)}
+        if ratio > 1.0 + args.threshold:
+            marker = "FAIL"
             failures.append(key)
+        elif ratio < 1.0:
+            # Got faster: also print the speedup factor so a PR that claims
+            # an optimisation has its ratio in the job log (and, via
+            # --report, in the artifact) without hand arithmetic.
+            marker = "imp "
+            improvements.append((key, 1.0 / ratio))
+        else:
+            marker = "ok"
+        line = (f"{marker:4} {key}: {ns / 1e6:.3f} ms vs baseline "
+                f"{ref / 1e6:.3f} ms ({ratio - 1.0:+.1%})")
+        if ratio < 1.0:
+            line += f" [{1.0 / ratio:.2f}x faster]"
+        print(line)
     # A baseline entry only counts as missing when its bench binary was
     # part of this run; whole stems absent from the run (a subset run, or
     # a baseline ahead of the build) are noted but never fail.
@@ -153,6 +204,28 @@ def main():
     for stem in skipped_stems:
         print(f"skip {stem}: in baseline but its report was not part of "
               "this run")
+
+    if improvements:
+        best = sorted(improvements, key=lambda kv: -kv[1])
+        print(f"\n{len(improvements)} improvement(s); best:")
+        for key, speedup in best[:5]:
+            print(f"  {speedup:5.2f}x  {key}")
+
+    if args.report:
+        report = {
+            "build_type": build_type,
+            "simd_caps": sorted(simd_caps),
+            "cpu_flags": cpu_flags(),
+            "threshold": args.threshold,
+            "benchmarks": compared,
+            "new": sorted(new),
+            "missing": sorted(missing),
+            "failures": sorted(failures),
+        }
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"report written: {args.report}")
 
     if failures or missing:
         print(f"\n{len(failures)} regression(s), {len(missing)} missing "

@@ -414,6 +414,11 @@ bool WireCallbackDecoder::step_framed() {
     return true;
   }
   if (avail < kFrameHeaderBytes + len) return false;
+  // The CRC walk below touches only this frame; start pulling the next
+  // frame's header into cache so the pending-cursor advance doesn't stall
+  // on it (the decode loop is limited by these dependent line fills).
+  if (avail >= kFrameHeaderBytes + len + kFrameHeaderBytes)
+    __builtin_prefetch(p + kFrameHeaderBytes + len);
   const auto crc = get<std::uint32_t>(p + 4);
   if (crc32c(p + kFrameHeaderBytes, len) != crc) {
     fault(DecodeErrorKind::kBadCrc, kInvalidNode);

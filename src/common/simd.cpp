@@ -1,0 +1,382 @@
+#include "common/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(MICROSCOPE_FORCE_SCALAR)
+#if defined(__x86_64__) || defined(__i386__)
+#define MICROSCOPE_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define MICROSCOPE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace microscope::simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. Every vector variant below must agree with these
+// on all inputs; the vector code is an implementation of the same function,
+// never a redefinition of it.
+// ---------------------------------------------------------------------------
+
+bool match_block_scalar(const std::uint16_t* ipid_a,
+                        const std::uint16_t* ipid_b, const TimeNs* ts_a,
+                        const TimeNs* ts_b, DurationNs max_a_minus_b,
+                        DurationNs max_b_minus_a) {
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    if (ipid_a[i] != ipid_b[i]) return false;
+    if (ts_a[i] - ts_b[i] > max_a_minus_b) return false;
+    if (ts_b[i] - ts_a[i] > max_b_minus_a) return false;
+  }
+  return true;
+}
+
+std::uint32_t match_mask_scalar(const std::uint16_t* lanes,
+                                std::uint16_t value) {
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    m |= static_cast<std::uint32_t>(lanes[i] == value) << i;
+  return m;
+}
+
+std::uint32_t mask_less_scalar(const TimeNs* lanes, TimeNs limit) {
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    m |= static_cast<std::uint32_t>(lanes[i] < limit) << i;
+  return m;
+}
+
+std::size_t find_first_equal_scalar(const std::uint16_t* data,
+                                    std::size_t begin, std::size_t end,
+                                    std::uint16_t value) {
+  for (std::size_t k = begin; k < end; ++k)
+    if (data[k] == value) return k;
+  return end;
+}
+
+#if defined(MICROSCOPE_SIMD_X86)
+
+// Compress the even bits of a 32-bit word into the low 16 bits (bit i of
+// the result = bit 2i of the input). _mm*_movemask_epi8 yields two bits
+// per 16-bit lane; this folds them down to one bit per lane without BMI2.
+inline std::uint32_t compress_even_bits(std::uint32_t m) {
+  m &= 0x55555555u;
+  m = (m | (m >> 1)) & 0x33333333u;
+  m = (m | (m >> 2)) & 0x0F0F0F0Fu;
+  m = (m | (m >> 4)) & 0x00FF00FFu;
+  m = (m | (m >> 8)) & 0x0000FFFFu;
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) bool match_block_avx2(
+    const std::uint16_t* ipid_a, const std::uint16_t* ipid_b,
+    const TimeNs* ts_a, const TimeNs* ts_b, DurationNs max_a_minus_b,
+    DurationNs max_b_minus_a) {
+  const __m256i ia = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(ipid_a));
+  const __m256i ib = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(ipid_b));
+  if (static_cast<std::uint32_t>(_mm256_movemask_epi8(
+          _mm256_cmpeq_epi16(ia, ib))) != 0xFFFFFFFFu)
+    return false;
+  // d = ts_a - ts_b per lane; reject when d > max_a_minus_b or
+  // -d > max_b_minus_a. The timestamps are simulation/capture clocks well
+  // inside int64 range, so the subtractions cannot overflow.
+  const __m256i va = _mm256_set1_epi64x(max_a_minus_b);
+  const __m256i vb = _mm256_set1_epi64x(max_b_minus_a);
+  const __m256i zero = _mm256_setzero_si256();
+  for (std::size_t i = 0; i < kLanes; i += 4) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ts_a + i));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ts_b + i));
+    const __m256i d = _mm256_sub_epi64(a, b);
+    const __m256i nd = _mm256_sub_epi64(zero, d);
+    const __m256i bad = _mm256_or_si256(_mm256_cmpgt_epi64(d, va),
+                                        _mm256_cmpgt_epi64(nd, vb));
+    if (_mm256_movemask_pd(_mm256_castsi256_pd(bad)) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) std::uint32_t match_mask_avx2(
+    const std::uint16_t* lanes, std::uint16_t value) {
+  const __m256i v = _mm256_set1_epi16(static_cast<short>(value));
+  const __m256i l =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(lanes));
+  return compress_even_bits(static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi16(l, v))));
+}
+
+__attribute__((target("avx2"))) std::uint32_t mask_less_avx2(
+    const TimeNs* lanes, TimeNs limit) {
+  const __m256i lim = _mm256_set1_epi64x(limit);
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < kLanes; i += 4) {
+    const __m256i l = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lanes + i));
+    const std::uint32_t bits = static_cast<std::uint32_t>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpgt_epi64(lim, l))));
+    m |= bits << i;
+  }
+  return m;
+}
+
+__attribute__((target("avx2"))) std::size_t find_first_equal_avx2(
+    const std::uint16_t* data, std::size_t begin, std::size_t end,
+    std::uint16_t value) {
+  const __m256i v = _mm256_set1_epi16(static_cast<short>(value));
+  std::size_t k = begin;
+  for (; k + 16 <= end; k += 16) {
+    const __m256i l =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + k));
+    const std::uint32_t m = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi16(l, v)));
+    if (m != 0)
+      return k + (static_cast<std::size_t>(__builtin_ctz(m)) >> 1);
+  }
+  for (; k < end; ++k)
+    if (data[k] == value) return k;
+  return end;
+}
+
+// ---------------------------------------------------------------------------
+// SSE4.2 (128-bit halves of the AVX2 code; pcmpgtq needs SSE4.2)
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2"))) bool match_block_sse42(
+    const std::uint16_t* ipid_a, const std::uint16_t* ipid_b,
+    const TimeNs* ts_a, const TimeNs* ts_b, DurationNs max_a_minus_b,
+    DurationNs max_b_minus_a) {
+  for (std::size_t i = 0; i < kLanes; i += 8) {
+    const __m128i ia =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ipid_a + i));
+    const __m128i ib =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ipid_b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi16(ia, ib)) != 0xFFFF) return false;
+  }
+  const __m128i va = _mm_set1_epi64x(max_a_minus_b);
+  const __m128i vb = _mm_set1_epi64x(max_b_minus_a);
+  const __m128i zero = _mm_setzero_si128();
+  for (std::size_t i = 0; i < kLanes; i += 2) {
+    const __m128i a =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts_a + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ts_b + i));
+    const __m128i d = _mm_sub_epi64(a, b);
+    const __m128i nd = _mm_sub_epi64(zero, d);
+    const __m128i bad =
+        _mm_or_si128(_mm_cmpgt_epi64(d, va), _mm_cmpgt_epi64(nd, vb));
+    if (_mm_movemask_pd(_mm_castsi128_pd(bad)) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t match_mask_sse42(
+    const std::uint16_t* lanes, std::uint16_t value) {
+  const __m128i v = _mm_set1_epi16(static_cast<short>(value));
+  const __m128i lo =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes));
+  const __m128i hi =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + 8));
+  const std::uint32_t mlo = static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi16(lo, v)));
+  const std::uint32_t mhi = static_cast<std::uint32_t>(
+      _mm_movemask_epi8(_mm_cmpeq_epi16(hi, v)));
+  return compress_even_bits(mlo | (mhi << 16));
+}
+
+__attribute__((target("sse4.2"))) std::uint32_t mask_less_sse42(
+    const TimeNs* lanes, TimeNs limit) {
+  const __m128i lim = _mm_set1_epi64x(limit);
+  std::uint32_t m = 0;
+  for (std::size_t i = 0; i < kLanes; i += 2) {
+    const __m128i l =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(lanes + i));
+    const std::uint32_t bits = static_cast<std::uint32_t>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpgt_epi64(lim, l))));
+    m |= bits << i;
+  }
+  return m;
+}
+
+__attribute__((target("sse4.2"))) std::size_t find_first_equal_sse42(
+    const std::uint16_t* data, std::size_t begin, std::size_t end,
+    std::uint16_t value) {
+  const __m128i v = _mm_set1_epi16(static_cast<short>(value));
+  std::size_t k = begin;
+  for (; k + 8 <= end; k += 8) {
+    const __m128i l =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + k));
+    const int m = _mm_movemask_epi8(_mm_cmpeq_epi16(l, v));
+    if (m != 0)
+      return k + (static_cast<std::size_t>(__builtin_ctz(
+                      static_cast<unsigned>(m))) >>
+                  1);
+  }
+  for (; k < end; ++k)
+    if (data[k] == value) return k;
+  return end;
+}
+
+#endif  // MICROSCOPE_SIMD_X86
+
+#if defined(MICROSCOPE_SIMD_NEON)
+
+// NEON covers the all-lanes zip comparator (the dominant kernel); the mask
+// extractions fall back to the scalar reference, which is identical by
+// construction — dispatch level only ever changes speed, never results.
+
+bool match_block_neon(const std::uint16_t* ipid_a, const std::uint16_t* ipid_b,
+                      const TimeNs* ts_a, const TimeNs* ts_b,
+                      DurationNs max_a_minus_b, DurationNs max_b_minus_a) {
+  for (std::size_t i = 0; i < kLanes; i += 8) {
+    const uint16x8_t ia = vld1q_u16(ipid_a + i);
+    const uint16x8_t ib = vld1q_u16(ipid_b + i);
+    if (vminvq_u16(vceqq_u16(ia, ib)) != 0xFFFF) return false;
+  }
+  const int64x2_t va = vdupq_n_s64(max_a_minus_b);
+  const int64x2_t vb = vdupq_n_s64(max_b_minus_a);
+  for (std::size_t i = 0; i < kLanes; i += 2) {
+    const int64x2_t a = vld1q_s64(ts_a + i);
+    const int64x2_t b = vld1q_s64(ts_b + i);
+    const int64x2_t d = vsubq_s64(a, b);
+    const uint64x2_t bad =
+        vorrq_u64(vcgtq_s64(d, va), vcgtq_s64(vnegq_s64(d), vb));
+    if ((vgetq_lane_u64(bad, 0) | vgetq_lane_u64(bad, 1)) != 0) return false;
+  }
+  return true;
+}
+
+#endif  // MICROSCOPE_SIMD_NEON
+
+Level detect_cpu_level() {
+#if defined(MICROSCOPE_SIMD_X86)
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Level::kSse42;
+#elif defined(MICROSCOPE_SIMD_NEON)
+  return Level::kNeon;
+#endif
+  return Level::kScalar;
+}
+
+bool cpu_has_hw_crc32c() {
+#if defined(MICROSCOPE_SIMD_X86)
+  return __builtin_cpu_supports("sse4.2");
+#elif defined(MICROSCOPE_SIMD_NEON) && defined(__ARM_FEATURE_CRC32)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool env_force_scalar() {
+  const char* v = std::getenv("MICROSCOPE_FORCE_SCALAR");
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "off") != 0 && std::strcmp(v, "no") != 0;
+}
+
+void apply(detail::Dispatch& d, ForceOrigin requested) {
+  ForceOrigin forced = requested;
+#if defined(MICROSCOPE_FORCE_SCALAR)
+  forced = ForceOrigin::kBuild;
+#else
+  if (forced == ForceOrigin::kNone && env_force_scalar())
+    forced = ForceOrigin::kEnv;
+#endif
+  d.forced = forced;
+  d.level =
+      forced != ForceOrigin::kNone ? Level::kScalar : detect_cpu_level();
+  d.hw_crc32c = forced == ForceOrigin::kNone && cpu_has_hw_crc32c();
+  d.match_block = match_block_scalar;
+  d.match_mask = match_mask_scalar;
+  d.mask_less = mask_less_scalar;
+  d.find_first_equal = find_first_equal_scalar;
+  switch (d.level) {
+    case Level::kScalar:
+      break;
+#if defined(MICROSCOPE_SIMD_X86)
+    case Level::kAvx2:
+      d.match_block = match_block_avx2;
+      d.match_mask = match_mask_avx2;
+      d.mask_less = mask_less_avx2;
+      d.find_first_equal = find_first_equal_avx2;
+      break;
+    case Level::kSse42:
+      d.match_block = match_block_sse42;
+      d.match_mask = match_mask_sse42;
+      d.mask_less = mask_less_sse42;
+      d.find_first_equal = find_first_equal_sse42;
+      break;
+#endif
+#if defined(MICROSCOPE_SIMD_NEON)
+    case Level::kNeon:
+      d.match_block = match_block_neon;
+      break;
+#endif
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+namespace detail {
+Dispatch& dispatch() {
+  static Dispatch d = [] {
+    Dispatch x;
+    apply(x, ForceOrigin::kNone);
+    return x;
+  }();
+  return d;
+}
+}  // namespace detail
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse42:
+      return "sse4.2";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+std::string caps_string() {
+  const detail::Dispatch& d = detail::dispatch();
+  std::string out = level_name(d.level);
+  switch (d.forced) {
+    case ForceOrigin::kNone:
+      break;
+    case ForceOrigin::kBuild:
+      out += " (forced: build)";
+      break;
+    case ForceOrigin::kEnv:
+      out += " (forced: env)";
+      break;
+    case ForceOrigin::kCall:
+      out += " (forced: call)";
+      break;
+  }
+  out += "; crc32c=";
+  out += d.hw_crc32c ? "hw" : "sw";
+  return out;
+}
+
+void set_force_scalar(bool on) {
+  apply(detail::dispatch(), on ? ForceOrigin::kCall : ForceOrigin::kNone);
+}
+
+}  // namespace microscope::simd

@@ -1,0 +1,118 @@
+// Runtime-dispatched SIMD kernels for the reconstruction hot path.
+//
+// The align/reconstruct working sets are laid out as structure-of-arrays
+// (contiguous timestamp / IPID / entry-index lanes, see trace/align.cpp);
+// the kernels here are the data-parallel primitives those loops lean on:
+// a 16-lane zip comparator (IPID equality plus both timing bounds as
+// branchless compares), a 16-lane head-register matcher, and a
+// find-first-equal scan.
+//
+// Dispatch rules:
+//  * The level is resolved once, at first use, from cpu features (CPUID on
+//    x86; NEON is baseline on aarch64) — no per-call detection cost beyond
+//    one function-pointer load.
+//  * Every vector implementation is byte-identical to the scalar reference
+//    (same results for every input; kLanes is the same at every level), so
+//    dispatch can never change pipeline output — enforced by the CI
+//    feature-matrix and the scalar-vs-SIMD equivalence tests.
+//  * MICROSCOPE_FORCE_SCALAR forces the scalar reference: as a CMake
+//    option it compiles the vector kernels out entirely; as an environment
+//    variable it overrides the runtime resolution. simd::caps_string()
+//    reports what was actually selected (surfaced by --version) so CI can
+//    assert the intended path ran.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace microscope::simd {
+
+/// Instruction-set level the kernel dispatch resolved to.
+enum class Level : std::uint8_t { kScalar, kSse42, kAvx2, kNeon };
+
+/// "scalar", "sse4.2", "avx2", "neon".
+const char* level_name(Level level);
+
+/// Why the dispatch is (or is not) pinned to scalar.
+enum class ForceOrigin : std::uint8_t { kNone, kBuild, kEnv, kCall };
+
+/// Lane width of the block kernels. match_block compares exactly kLanes
+/// zipped pairs; match_mask/mask_less read exactly kLanes lanes (callers
+/// keep their head registers padded to this width). One constant across
+/// every level so a dispatch change can never change behavior.
+inline constexpr std::size_t kLanes = 16;
+
+namespace detail {
+struct Dispatch {
+  Level level{Level::kScalar};
+  ForceOrigin forced{ForceOrigin::kNone};
+  bool hw_crc32c{false};
+  bool (*match_block)(const std::uint16_t*, const std::uint16_t*,
+                      const TimeNs*, const TimeNs*, DurationNs,
+                      DurationNs) = nullptr;
+  std::uint32_t (*match_mask)(const std::uint16_t*, std::uint16_t) = nullptr;
+  std::uint32_t (*mask_less)(const TimeNs*, TimeNs) = nullptr;
+  std::size_t (*find_first_equal)(const std::uint16_t*, std::size_t,
+                                  std::size_t, std::uint16_t) = nullptr;
+};
+Dispatch& dispatch();
+}  // namespace detail
+
+inline Level active_level() { return detail::dispatch().level; }
+
+/// Non-kNone when scalar was pinned by MICROSCOPE_FORCE_SCALAR (build
+/// flag or environment) or set_force_scalar rather than by cpu limits.
+inline ForceOrigin force_origin() { return detail::dispatch().forced; }
+
+/// True when crc32c() resolves to the hardware instruction (see
+/// common/crc32c.hpp).
+inline bool hw_crc32c_active() { return detail::dispatch().hw_crc32c; }
+
+/// Capability line for --version and bench context: the selected level,
+/// why scalar if scalar, and the crc32c backend. Examples:
+/// "avx2; crc32c=hw", "scalar (forced: build); crc32c=sw".
+std::string caps_string();
+
+/// Test hook: pin the dispatch to scalar (on) or re-resolve from cpu
+/// features and the environment (off). A build-flag or environment force
+/// cannot be un-pinned. Not thread-safe: call only while no pipeline runs.
+void set_force_scalar(bool on);
+
+/// All kLanes zipped lane pairs pass simultaneously:
+///   ipid_a[i] == ipid_b[i]
+///   ts_a[i] - ts_b[i] <= max_a_minus_b
+///   ts_b[i] - ts_a[i] <= max_b_minus_a
+/// The timing bounds are evaluated as branchless lane compares. Used to
+/// consume a 16-entry run of head-of-line matches in one step.
+inline bool match_block(const std::uint16_t* ipid_a,
+                        const std::uint16_t* ipid_b, const TimeNs* ts_a,
+                        const TimeNs* ts_b, DurationNs max_a_minus_b,
+                        DurationNs max_b_minus_a) {
+  return detail::dispatch().match_block(ipid_a, ipid_b, ts_a, ts_b,
+                                        max_a_minus_b, max_b_minus_a);
+}
+
+/// Bit i (i < kLanes) set iff lanes[i] == value. Reads exactly kLanes
+/// lanes; callers mask off lanes beyond their live stream count.
+inline std::uint32_t match_mask(const std::uint16_t* lanes,
+                                std::uint16_t value) {
+  return detail::dispatch().match_mask(lanes, value);
+}
+
+/// Bit i (i < kLanes) set iff lanes[i] < limit (signed). Reads exactly
+/// kLanes lanes.
+inline std::uint32_t mask_less(const TimeNs* lanes, TimeNs limit) {
+  return detail::dispatch().mask_less(lanes, limit);
+}
+
+/// Index of the first element equal to value in [begin, end), or end.
+inline std::size_t find_first_equal(const std::uint16_t* data,
+                                    std::size_t begin, std::size_t end,
+                                    std::uint16_t value) {
+  return detail::dispatch().find_first_equal(data, begin, end, value);
+}
+
+}  // namespace microscope::simd

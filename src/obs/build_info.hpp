@@ -30,8 +30,9 @@ struct BuildInfo {
 const BuildInfo& build_info();
 
 /// One-line JSON object: {"git_hash": ..., "build_type": ..., "compiler":
-/// ..., "metrics": ..., "sanitizers": ...}. Stamped verbatim into trace
-/// exports and provenance headers.
+/// ..., "metrics": ..., "sanitizers": ..., "simd": ...}. Stamped verbatim
+/// into trace exports and provenance headers. The simd capability string
+/// is queried live from the runtime dispatch, not cached.
 std::string build_info_json();
 
 /// Aligned human-readable block for --version output.

@@ -1,46 +1,326 @@
 #include "trace/align.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
 
+#include "common/simd.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracing.hpp"
 
+// The alignment passes here are the per-record hot path of the whole
+// pipeline, so they run on structure-of-arrays data: per-entry timestamp
+// and IPID lanes are expanded once (prepare pass) and every per-link
+// packet stream is one set of contiguous {entry, ts, ipid} arrays. Real
+// traces average barely more than one entry per batch record, so the
+// prepare pass is written for that regime: expansion branches to plain
+// stores for one-entry batches, and a node that sends to a single peer
+// whose batches tile its entry range exactly (the canonical collector
+// layout) gets a zero-copy stream view — identity entry map, lanes
+// aliasing the node's expanded tx arrays — instead of a materialized
+// copy. On top of that layout two data-parallel fast paths run behind the
+// common/simd.hpp dispatch:
+//
+//  * a 16-lane zip block that consumes a run of head-of-line matches
+//    against the stream of the previous match in one step (IPID equality
+//    and both timing bounds as branchless lane compares), guarded by
+//    "no other live stream's head IPID occurs in the block" (and, for the
+//    internal pass, "no other head can expire inside the block") so no
+//    candidate, tie-break, or stat could have differed from the scalar
+//    walk. Attempts are run-gated: interleaved traffic can never zip, so
+//    a failed attempt backs off until the same stream has matched a few
+//    entries in a row again (a pure cost heuristic — whether a zip is
+//    *attempted* never changes what is matched);
+//  * a head-register path that keeps every stream's head IPID/timestamp in
+//    fixed 16-lane arrays and finds candidate streams with one vector
+//    compare instead of a per-stream loop.
+//
+// Both are byte-identical to the scalar reference by construction: the
+// guards make the fast path bail to the reference logic whenever any
+// deviation were possible, candidate lanes are visited in ascending stream
+// order (std::countr_zero) so tie-breaks resolve identically, and the
+// drop-inference scan uses a sorted-window search only when the stream's
+// timestamps are nondecreasing (chaos traces with regressions take the
+// exact replica of the original scan). The ablation modes (use_timing /
+// use_order off) and nodes with more than 16 live streams always take the
+// reference path. tests/test_parallel.cpp asserts scalar-vs-SIMD
+// byte-identity end to end; the CI feature matrix runs the full suite both
+// ways.
 namespace microscope::trace {
 namespace {
 
 using collector::BatchRecord;
 using collector::NodeTrace;
 
-/// Expand batch records into a per-entry batch-index array.
-std::vector<std::uint32_t> batch_of_entries(
-    const std::vector<BatchRecord>& batches, std::size_t entry_count) {
-  std::vector<std::uint32_t> out(entry_count, kNoEntry);
-  for (std::uint32_t b = 0; b < batches.size(); ++b) {
-    const BatchRecord& rec = batches[b];
-    for (std::uint32_t i = 0; i < rec.count; ++i) out[rec.begin + i] = b;
+
+/// After a zip block fails (or the active stream changes), require this
+/// many consecutive same-stream matches before attempting another block.
+/// Purely a cost knob: it only decides when the (always-guarded) zip is
+/// tried, never what matches.
+constexpr std::uint32_t kZipMinRun = 4;
+
+/// Expand batch records into per-entry SoA lanes (batch index + batch
+/// timestamp). Returns whether the batch timestamps are nondecreasing —
+/// the zip fast path of the internal pass requires monotone read times.
+bool expand_batches(const std::vector<BatchRecord>& batches,
+                    std::size_t entry_count,
+                    std::vector<std::uint32_t>& batch_of,
+                    std::vector<TimeNs>& entry_ts) {
+  batch_of.assign(entry_count, kNoEntry);
+  entry_ts.assign(entry_count, 0);
+  std::uint32_t* bo = batch_of.data();
+  TimeNs* ets = entry_ts.data();
+  const BatchRecord* recs = batches.data();
+  const std::uint32_t nb = static_cast<std::uint32_t>(batches.size());
+  bool sorted = true;
+  TimeNs prev = std::numeric_limits<TimeNs>::min();
+  for (std::uint32_t b = 0; b < nb; ++b) {
+    const TimeNs ts = recs[b].ts;
+    const std::uint32_t begin = recs[b].begin;
+    const std::uint32_t count = recs[b].count;
+    sorted &= ts >= prev;
+    prev = ts;
+    if (count == 1) {  // the overwhelmingly common case on real traces
+      bo[begin] = b;
+      ets[begin] = ts;
+    } else {
+      for (std::uint32_t k = 0; k < count; ++k) {
+        bo[begin + k] = b;
+        ets[begin + k] = ts;
+      }
+    }
+  }
+  return sorted;
+}
+
+/// One packet stream between a (tx node, peer) pair as contiguous SoA
+/// lanes: tx entry index, tx batch timestamp, and IPID per packet, in
+/// FIFO order. Built once per tx node; the link pass (run by the
+/// downstream node) and the internal pass (run by the owner) each walk it
+/// through their own cursor, so the arrays stay immutable and the
+/// per-node shards cannot race.
+///
+/// A single-peer node with canonically tiled batches is a zero-copy view:
+/// `entries == nullptr` means the identity map (entry k is just k) and the
+/// ts/ipid lanes alias NodeAlignment::tx_entry_ts / NodeTrace::tx_ipids.
+/// Multi-peer (or non-canonical) nodes materialize per-peer copies into
+/// the *_store vectors.
+struct Stream {
+  NodeId up{kInvalidNode};    // tx-side owner
+  NodeId peer{kInvalidNode};  // destination the entries were sent to
+  const std::uint32_t* entries{nullptr};
+  const TimeNs* ts{nullptr};
+  const std::uint16_t* ipids{nullptr};
+  std::uint32_t n{0};
+  bool sorted{true};  // ts nondecreasing
+  std::vector<std::uint32_t> entries_store;
+  std::vector<TimeNs> ts_store;
+  std::vector<std::uint16_t> ipids_store;
+};
+
+/// Build every outgoing stream of node `up`, keyed by peer in
+/// first-appearance order (the order the internal pass discovers
+/// destinations in), and expand the node's tx batch records into the
+/// per-entry SoA lanes of `a` in the same scan. The scan also discovers
+/// peers, counts, and whether the batches tile the entry range exactly;
+/// the single-peer canonical case then returns a zero-copy view,
+/// everything else materializes in a second scan. `slot` is
+/// caller-provided scratch (node-count sized, all -1) mapping
+/// peer -> stream index; it is restored before returning.
+std::vector<Stream> build_streams(const NodeTrace& t, NodeId up,
+                                  NodeAlignment& a,
+                                  std::vector<std::int32_t>& slot) {
+  std::vector<Stream> out;
+  const BatchRecord* recs = t.tx_batches.data();
+  const std::size_t nb = t.tx_batches.size();
+  const std::size_t entry_count = t.tx_ipids.size();
+
+  a.tx_batch_of.assign(entry_count, kNoEntry);
+  a.tx_entry_ts.assign(entry_count, 0);
+  std::uint32_t* bo = a.tx_batch_of.data();
+  TimeNs* ets = a.tx_entry_ts.data();
+
+  // Peer ids normally index the graph, but a trace may name peers outside
+  // it (e.g. an egress the graph does not model); those fall back to a
+  // linear search over the handful of streams.
+  auto slot_of = [&](NodeId peer) -> std::int32_t {
+    if (peer < slot.size()) return slot[peer];
+    for (std::size_t i = 0; i < out.size(); ++i)
+      if (out[i].peer == peer) return static_cast<std::int32_t>(i);
+    return -1;
+  };
+
+  bool tx_sorted = true;
+  bool canonical = true;
+  TimeNs prev = std::numeric_limits<TimeNs>::min();
+  std::uint32_t next = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const TimeNs ts = recs[b].ts;
+    const std::uint32_t begin = recs[b].begin;
+    const std::uint32_t count = recs[b].count;
+    const NodeId peer = recs[b].peer;
+    tx_sorted &= ts >= prev;
+    prev = ts;
+    if (count != 0) {
+      const std::uint32_t bi = static_cast<std::uint32_t>(b);
+      bo[begin] = bi;
+      ets[begin] = ts;
+      for (std::uint32_t k = 1; k < count; ++k) {
+        bo[begin + k] = bi;
+        ets[begin + k] = ts;
+      }
+    }
+    std::int32_t sl = slot_of(peer);
+    if (sl < 0) {
+      sl = static_cast<std::int32_t>(out.size());
+      if (peer < slot.size()) slot[peer] = sl;
+      Stream& s = out.emplace_back();
+      s.up = up;
+      s.peer = peer;
+    }
+    out[static_cast<std::size_t>(sl)].n += count;
+    canonical &= begin == next;
+    next += count;
+  }
+  canonical &= next == entry_count;
+
+  if (out.size() == 1 && canonical) {
+    Stream& s = out[0];
+    if (s.peer < slot.size()) slot[s.peer] = -1;
+    s.sorted = tx_sorted;
+    s.ts = a.tx_entry_ts.data();
+    s.ipids = t.tx_ipids.data();
+    return out;  // entries == nullptr: identity
+  }
+
+  // Materialize per-peer lanes. Raw write cursors per stream keep the
+  // inner loop at three stores for the dominant one-entry batches.
+  struct Fill {
+    std::uint32_t* e;
+    TimeNs* ts;
+    std::uint16_t* id;
+    TimeNs prev;
+  };
+  std::vector<Fill> fills(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Stream& s = out[i];
+    s.entries_store.resize(s.n);
+    s.ts_store.resize(s.n);
+    s.ipids_store.resize(s.n);
+    fills[i] = Fill{s.entries_store.data(), s.ts_store.data(),
+                    s.ipids_store.data(), std::numeric_limits<TimeNs>::min()};
+  }
+  const std::uint16_t* ipids = t.tx_ipids.data();
+  for (std::size_t b = 0; b < nb; ++b) {
+    const BatchRecord& rec = recs[b];
+    const std::size_t sl = static_cast<std::size_t>(slot_of(rec.peer));
+    Fill& f = fills[sl];
+    if (rec.ts < f.prev) out[sl].sorted = false;
+    f.prev = rec.ts;
+    if (rec.count == 1) {
+      *f.e++ = rec.begin;
+      *f.ts++ = rec.ts;
+      *f.id++ = ipids[rec.begin];
+    } else {
+      for (std::uint32_t k = 0; k < rec.count; ++k) {
+        *f.e++ = rec.begin + k;
+        *f.ts++ = rec.ts;
+        *f.id++ = ipids[rec.begin + k];
+      }
+    }
+  }
+  for (Stream& s : out) {
+    if (s.peer < slot.size()) slot[s.peer] = -1;
+    s.entries = s.entries_store.data();
+    s.ts = s.ts_store.data();
+    s.ipids = s.ipids_store.data();
   }
   return out;
 }
 
-/// One upstream packet stream into a given node: tx entry indices at the
-/// upstream node whose batch peer is the downstream node, in FIFO order.
-struct Stream {
-  NodeId up;
-  std::vector<std::uint32_t> entries;
-  std::size_t head{0};
+/// Flat per-pass cursor over one stream: the lane pointers, sizes, and
+/// consumption head in one cache line, so the hot loops never chase a
+/// Stream* indirection. `drop_flags` points at the upstream's
+/// tx_dropped_downstream lane (link pass only).
+struct Ref {
+  const std::uint16_t* ipids{nullptr};
+  const TimeNs* ts{nullptr};
+  const std::uint32_t* entries{nullptr};  // nullptr: identity map
+  std::uint8_t* drop_flags{nullptr};
+  std::uint32_t head{0};
+  std::uint32_t size{0};
+  NodeId up{kInvalidNode};
+  std::uint8_t sorted{1};
 
-  bool exhausted() const { return head >= entries.size(); }
-  std::uint32_t head_entry() const { return entries[head]; }
+  bool exhausted() const { return head >= size; }
+  std::uint32_t entry_at(std::uint32_t k) const {
+    return entries ? entries[k] : k;
+  }
+  std::uint32_t head_entry() const { return entry_at(head); }
 };
 
-Stream build_stream(const NodeTrace& up_trace, NodeId up, NodeId down) {
-  Stream s;
-  s.up = up;
-  for (const BatchRecord& rec : up_trace.tx_batches) {
-    if (rec.peer != down) continue;
-    for (std::uint32_t i = 0; i < rec.count; ++i) s.entries.push_back(rec.begin + i);
+Ref make_ref(const Stream& s, std::uint8_t* drop_flags) {
+  Ref r;
+  r.ipids = s.ipids;
+  r.ts = s.ts;
+  r.entries = s.entries;
+  r.drop_flags = drop_flags;
+  r.size = s.n;
+  r.up = s.up;
+  r.sorted = s.sorted ? 1 : 0;
+  return r;
+}
+
+/// Fixed-width register of every stream's head-of-line IPID and timestamp,
+/// padded to simd::kLanes so the mask kernels read whole vectors.
+/// Exhausted lanes carry ts = kTimeNever (rejected by every timing bound)
+/// and are cleared from `live`; lanes beyond the stream count stay dead.
+struct Heads {
+  alignas(32) std::uint16_t ipid[simd::kLanes];
+  alignas(32) TimeNs ts[simd::kLanes];
+  std::uint32_t live{0};
+
+  void init(const Ref* refs, std::size_t count) {
+    std::fill_n(ipid, simd::kLanes, std::uint16_t{0});
+    std::fill_n(ts, simd::kLanes, kTimeNever);
+    live = 0;
+    for (std::size_t s = 0; s < count; ++s) refresh(refs, s);
   }
-  return s;
+  void refresh(const Ref* refs, std::size_t s) {
+    const Ref& r = refs[s];
+    if (r.head >= r.size) {
+      ts[s] = kTimeNever;
+      live &= ~(1u << s);
+    } else {
+      ipid[s] = r.ipids[r.head];
+      ts[s] = r.ts[r.head];
+      live |= 1u << s;
+    }
+  }
+};
+
+/// Owned, erasable copy of a stream for the no-order ablation (matching
+/// without the FIFO discipline consumes entries from the middle).
+struct OwnedLanes {
+  NodeId up{kInvalidNode};
+  std::vector<std::uint32_t> entries;
+  std::vector<TimeNs> ts;
+  std::vector<std::uint16_t> ipids;
+};
+
+OwnedLanes materialize(const Stream& s) {
+  OwnedLanes o;
+  o.up = s.up;
+  o.entries.resize(s.n);
+  if (s.entries) {
+    std::copy_n(s.entries, s.n, o.entries.begin());
+  } else {
+    for (std::uint32_t k = 0; k < s.n; ++k) o.entries[k] = k;
+  }
+  o.ts.assign(s.ts, s.ts + s.n);
+  o.ipids.assign(s.ipids, s.ipids + s.n);
+  return o;
 }
 
 }  // namespace
@@ -50,24 +330,54 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
                                      const AlignOptions& opts,
                                      AlignStats* stats,
                                      ThreadPool* pool,
-                                     const ParallelOptions& par) {
+                                     const ParallelOptions& par,
+                                     std::vector<NodeAlignment>* recycle) {
   obs::TraceSpan span("trace", "align");
   const std::size_t n = graph.node_count();
   span.set_items(n);
-  std::vector<NodeAlignment> out(n);
+  // Reclaim the caller's previous window, if offered: every per-node lane
+  // below is (re)filled with assign(), so capacity carried over from the
+  // last window turns ~20MB of fresh page-faulted allocations per call
+  // into in-place writes. The contents of *recycle are irrelevant.
+  std::vector<NodeAlignment> out;
+  if (recycle != nullptr) out = std::move(*recycle);
+  out.resize(n);
   // Per-node stat shards, merged in node-id order at the end.
   std::vector<AlignStats> node_stats(n);
+  // Outgoing streams per node (grouped by peer) and whether the node's rx
+  // batch timestamps are nondecreasing.
+  std::vector<std::vector<Stream>> tx_streams(n);
+  std::vector<std::uint8_t> rx_sorted(n, 1);
 
-  // Pass 0: entry->batch maps and downstream-drop flags.
+  // Pass 0: entry->batch maps, SoA timestamp lanes, outgoing streams, and
+  // downstream-drop flags.
   auto pass0 = [&](NodeId id) {
-    if (graph.kinds[id] == NodeKind::kSink || !col.has_node(id)) return;
+    if (graph.kinds[id] == NodeKind::kSink || !col.has_node(id)) {
+      // Recycled elements may carry a previous window's lanes; a skipped
+      // node must look freshly constructed (clear keeps capacity).
+      NodeAlignment& a = out[id];
+      a.rx_origin.clear();
+      a.rx_to_tx.clear();
+      a.tx_to_rx.clear();
+      a.tx_dropped_downstream.clear();
+      a.rx_batch_of.clear();
+      a.tx_batch_of.clear();
+      a.rx_entry_ts.clear();
+      a.tx_entry_ts.clear();
+      return;
+    }
     const NodeTrace& t = col.node(id);
-    out[id].rx_batch_of = batch_of_entries(t.rx_batches, t.rx_ipids.size());
-    out[id].tx_batch_of = batch_of_entries(t.tx_batches, t.tx_ipids.size());
-    out[id].tx_dropped_downstream.assign(t.tx_ipids.size(), 0);
-    out[id].rx_origin.assign(t.rx_ipids.size(), TxRef{});
-    out[id].rx_to_tx.assign(t.rx_ipids.size(), kNoEntry);
-    out[id].tx_to_rx.assign(t.tx_ipids.size(), kNoEntry);
+    NodeAlignment& a = out[id];
+    rx_sorted[id] = expand_batches(t.rx_batches, t.rx_ipids.size(),
+                                   a.rx_batch_of, a.rx_entry_ts)
+                        ? 1
+                        : 0;
+    a.tx_dropped_downstream.assign(t.tx_ipids.size(), 0);
+    a.rx_origin.assign(t.rx_ipids.size(), TxRef{});
+    a.rx_to_tx.assign(t.rx_ipids.size(), kNoEntry);
+    a.tx_to_rx.assign(t.tx_ipids.size(), kNoEntry);
+    std::vector<std::int32_t> slot(n, -1);
+    tx_streams[id] = build_streams(t, id, a, slot);
   };
 
   // Pass 1: link alignment (downstream rx entries <- upstream tx streams).
@@ -79,126 +389,307 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
     const NodeTrace& dt = col.node(d);
     NodeAlignment& da = out[d];
 
-    std::vector<Stream> streams;
-    for (NodeId u : graph.upstreams[d]) {
-      if (!col.has_node(u)) continue;
-      streams.push_back(build_stream(col.node(u), u, d));
+    const std::uint32_t n_rx = static_cast<std::uint32_t>(dt.rx_ipids.size());
+    const std::uint16_t* rx_ipid = dt.rx_ipids.data();
+    const TimeNs* rx_ts = da.rx_entry_ts.data();
+
+    // The no-order ablation consumes entries from the middle of a stream,
+    // so it runs on private erasable copies; everything below it shares
+    // none of the fast-path machinery.
+    if (!opts.use_order) {
+      std::vector<OwnedLanes> own;
+      for (NodeId u : graph.upstreams[d]) {
+        if (!col.has_node(u)) continue;
+        for (const Stream& s : tx_streams[u])
+          if (s.peer == d) own.push_back(materialize(s));
+      }
+      for (std::uint32_t j = 0; j < n_rx; ++j) {
+        const std::uint16_t ipid = rx_ipid[j];
+        const TimeNs read_ts = rx_ts[j];
+        int best = -1;
+        TimeNs best_ts = kTimeNever;
+        std::size_t best_pos = 0;
+        int candidates = 0;
+        for (std::size_t s = 0; s < own.size(); ++s) {
+          const OwnedLanes& o = own[s];
+          for (std::size_t k = 0; k < o.entries.size(); ++k) {
+            if (o.ipids[k] != ipid) continue;
+            const TimeNs tx_ts = o.ts[k];
+            if (opts.use_timing) {
+              if (tx_ts > read_ts + opts.slack) continue;
+              if (read_ts - tx_ts > opts.max_link_delay) continue;
+            }
+            ++candidates;
+            if (tx_ts < best_ts ||
+                (tx_ts == best_ts && best >= 0 &&
+                 o.up < own[static_cast<std::size_t>(best)].up)) {
+              best = static_cast<int>(s);
+              best_ts = tx_ts;
+              best_pos = k;
+            }
+            break;  // first unconsumed match per stream
+          }
+        }
+        if (best >= 0) {
+          // Without the order discipline we cannot infer drops from
+          // skips; just consume the matched entry.
+          OwnedLanes& o = own[static_cast<std::size_t>(best)];
+          if (candidates > 1) ++local.link_ambiguous;
+          da.rx_origin[j] = TxRef{o.up, o.entries[best_pos]};
+          const auto at = static_cast<std::ptrdiff_t>(best_pos);
+          o.entries.erase(o.entries.begin() + at);
+          o.ts.erase(o.ts.begin() + at);
+          o.ipids.erase(o.ipids.begin() + at);
+          ++local.link_matched;
+        } else {
+          ++local.link_unmatched;
+        }
+      }
+      // Remaining unconsumed upstream entries: dropped if their deadline
+      // has passed relative to the node's last read.
+      const TimeNs last_read =
+          dt.rx_batches.empty() ? 0 : dt.rx_batches.back().ts;
+      for (const OwnedLanes& o : own) {
+        for (std::size_t k = 0; k < o.entries.size(); ++k) {
+          if (last_read - o.ts[k] > opts.max_link_delay) {
+            out[o.up].tx_dropped_downstream[o.entries[k]] = 1;
+            ++local.queue_drops_inferred;
+          }
+        }
+      }
+      return;
     }
 
-    for (std::uint32_t j = 0; j < dt.rx_ipids.size(); ++j) {
-      const std::uint16_t ipid = dt.rx_ipids[j];
-      const TimeNs read_ts = dt.rx_batches[da.rx_batch_of[j]].ts;
+    // Cursors over the upstream streams headed here, in graph order. An
+    // upstream that never sent to d contributes no stream — an empty
+    // stream can never be a candidate, so skipping it is equivalent.
+    std::vector<Ref> cur;
+    for (NodeId u : graph.upstreams[d]) {
+      if (!col.has_node(u)) continue;
+      for (const Stream& s : tx_streams[u])
+        if (s.peer == d)
+          cur.push_back(make_ref(s, out[u].tx_dropped_downstream.data()));
+    }
+    Ref* refs = cur.data();
+    const std::size_t S = cur.size();
 
-      // Candidate upstreams: head-of-line entries with the right IPID
-      // inside the delay bound (side channels 1-3). The ablation knobs
-      // disable the timing bound (side channel 2) or the head-of-line
-      // order discipline (side channel 3).
-      int best = -1;
-      TimeNs best_ts = kTimeNever;
-      std::size_t best_pos_no_order = 0;
-      int candidates = 0;
-      for (std::size_t s = 0; s < streams.size(); ++s) {
-        Stream& st = streams[s];
-        if (st.exhausted()) continue;
-        const NodeTrace& ut = col.node(st.up);
-        const std::size_t scan_end =
-            opts.use_order ? st.head + 1 : st.entries.size();
-        for (std::size_t k = st.head; k < scan_end; ++k) {
-          const std::uint32_t e = st.entries[k];
-          const TimeNs tx_ts = ut.tx_batches[out[st.up].tx_batch_of[e]].ts;
-          if (ut.tx_ipids[e] != ipid) continue;
+    // No head-of-line candidate for entry j: per-link FIFO means that if
+    // this rx entry matches a *later* entry of some stream, every entry
+    // the match skips over was dropped at this node's input queue (it
+    // entered the queue earlier yet was never read). Scan ahead within the
+    // time bound and take the match with the fewest skips. On a sorted
+    // stream the original forward scan — skip entries older than the link
+    // delay, stop at the first entry beyond read_ts + slack — is exactly
+    // the first IPID hit inside a binary-searched window; streams with
+    // timestamp regressions take the literal scan. Returns the matched
+    // stream index, or S.
+    auto scan_ahead = [&](std::uint32_t j, std::uint16_t ipid,
+                          TimeNs read_ts) -> std::size_t {
+      std::size_t best_stream = S;
+      std::size_t best_pos = 0;
+      std::size_t best_skips = static_cast<std::size_t>(-1);
+      for (std::size_t s = 0; s < S; ++s) {
+        const Ref& st = refs[s];
+        const std::size_t sz = st.size;
+        std::size_t k;
+        if (st.sorted) {
+          const TimeNs* tsd = st.ts;
+          const std::size_t lo = static_cast<std::size_t>(
+              std::lower_bound(tsd + st.head, tsd + sz,
+                               read_ts - opts.max_link_delay) -
+              tsd);
+          const std::size_t hi = static_cast<std::size_t>(
+              std::upper_bound(tsd + lo, tsd + sz, read_ts + opts.slack) -
+              tsd);
+          k = simd::find_first_equal(st.ipids, lo, hi, ipid);
+          if (k >= hi) continue;
+        } else {
+          k = sz;
+          for (std::size_t i = st.head; i < sz; ++i) {
+            const TimeNs tx_ts = st.ts[i];
+            if (tx_ts > read_ts + opts.slack) break;  // not yet arrived
+            if (read_ts - tx_ts > opts.max_link_delay) continue;
+            if (st.ipids[i] != ipid) continue;
+            k = i;
+            break;  // first in-window match per stream is the FIFO-legal one
+          }
+          if (k >= sz) continue;
+        }
+        const std::size_t skips = k - st.head;
+        if (skips < best_skips) {
+          best_skips = skips;
+          best_stream = s;
+          best_pos = k;
+        }
+      }
+      if (best_stream < S) {
+        Ref& st = refs[best_stream];
+        for (std::size_t k = st.head; k < best_pos; ++k) {
+          st.drop_flags[st.entry_at(static_cast<std::uint32_t>(k))] = 1;
+          ++local.queue_drops_inferred;
+        }
+        da.rx_origin[j] =
+            TxRef{st.up, st.entry_at(static_cast<std::uint32_t>(best_pos))};
+        st.head = static_cast<std::uint32_t>(best_pos) + 1;
+        ++local.link_matched;
+        ++local.link_ambiguous;  // resolved beyond head-of-line
+      } else {
+        ++local.link_unmatched;
+      }
+      return best_stream;
+    };
+
+    const bool fast = opts.use_timing && S >= 1 && S <= simd::kLanes;
+
+    if (fast) {
+      Heads h;
+      h.init(refs, S);
+      std::size_t active = 0;  // stream of the last match: run heuristic
+      std::uint32_t run = kZipMinRun;  // allow an attempt at stream start
+      std::uint32_t j = 0;
+      while (j < n_rx) {
+        // Zip block: 16 consecutive rx entries that are all head-of-line
+        // matches of the active stream. No other live stream's head IPID
+        // occurs in the block, so no other candidate (and no ambiguity)
+        // was possible at any of the 16 entries; exhausted lanes cannot
+        // be candidates at all.
+        if (run >= kZipMinRun) {
+          Ref& ac = refs[active];
+          if (j + simd::kLanes <= n_rx &&
+              ac.head + simd::kLanes <= ac.size &&
+              simd::match_block(rx_ipid + j, ac.ipids + ac.head, rx_ts + j,
+                                ac.ts + ac.head, opts.max_link_delay,
+                                opts.slack)) {
+            bool clean = true;
+            std::uint32_t others = h.live & ~(1u << active);
+            while (others) {
+              const unsigned o = std::countr_zero(others);
+              others &= others - 1;
+              if (simd::match_mask(rx_ipid + j, h.ipid[o]) != 0) {
+                clean = false;
+                break;
+              }
+            }
+            if (clean) {
+              const NodeId up = ac.up;
+              if (ac.entries) {
+                const std::uint32_t* ent = ac.entries + ac.head;
+                for (std::size_t k = 0; k < simd::kLanes; ++k)
+                  da.rx_origin[j + k] = TxRef{up, ent[k]};
+              } else {
+                for (std::size_t k = 0; k < simd::kLanes; ++k)
+                  da.rx_origin[j + k] =
+                      TxRef{up, ac.head + static_cast<std::uint32_t>(k)};
+              }
+              ac.head += simd::kLanes;
+              h.refresh(refs, active);
+              local.link_matched += simd::kLanes;
+              j += simd::kLanes;
+              continue;
+            }
+          }
+          run = 1;  // impossible or failed: back off until a fresh run
+        }
+        // Head-register path: one vector compare finds every stream whose
+        // head-of-line IPID matches; timing and tie-breaks then run over
+        // the (few) candidate lanes in ascending stream order, exactly as
+        // the scalar reference would.
+        const std::uint16_t ipid = rx_ipid[j];
+        const TimeNs read_ts = rx_ts[j];
+        std::uint32_t m = simd::match_mask(h.ipid, ipid) & h.live;
+        int best = -1;
+        TimeNs best_ts = kTimeNever;
+        int candidates = 0;
+        while (m) {
+          const unsigned s = std::countr_zero(m);
+          m &= m - 1;
+          const TimeNs tx_ts = h.ts[s];
+          if (tx_ts > read_ts + opts.slack) continue;
+          if (read_ts - tx_ts > opts.max_link_delay) continue;
+          ++candidates;
+          if (tx_ts < best_ts ||
+              (tx_ts == best_ts && best >= 0 &&
+               refs[s].up < refs[static_cast<std::size_t>(best)].up)) {
+            best = static_cast<int>(s);
+            best_ts = tx_ts;
+          }
+        }
+        if (best >= 0) {
+          if (candidates > 1) ++local.link_ambiguous;
+          Ref& st = refs[static_cast<std::size_t>(best)];
+          da.rx_origin[j] = TxRef{st.up, st.head_entry()};
+          ++st.head;
+          h.refresh(refs, static_cast<std::size_t>(best));
+          ++local.link_matched;
+          run = (static_cast<std::size_t>(best) == active) ? run + 1 : 1;
+          active = static_cast<std::size_t>(best);
+          ++j;
+          continue;
+        }
+        const std::size_t hit = scan_ahead(j, ipid, read_ts);
+        if (hit < S) {
+          h.refresh(refs, hit);
+          active = hit;
+          run = 1;
+        }
+        ++j;
+      }
+    } else {
+      // Scalar reference: the no-timing ablation, more streams than head
+      // lanes, or no streams at all.
+      for (std::uint32_t j = 0; j < n_rx; ++j) {
+        const std::uint16_t ipid = rx_ipid[j];
+        const TimeNs read_ts = rx_ts[j];
+
+        // Candidate upstreams: head-of-line entries with the right IPID
+        // inside the delay bound (side channels 1-3). The ablation knob
+        // disables the timing bound (side channel 2).
+        int best = -1;
+        TimeNs best_ts = kTimeNever;
+        int candidates = 0;
+        for (std::size_t s = 0; s < S; ++s) {
+          const Ref& st = refs[s];
+          if (st.exhausted()) continue;
+          if (st.ipids[st.head] != ipid) continue;
+          const TimeNs tx_ts = st.ts[st.head];
           if (opts.use_timing) {
             if (tx_ts > read_ts + opts.slack) continue;
             if (read_ts - tx_ts > opts.max_link_delay) continue;
           }
           ++candidates;
           if (tx_ts < best_ts ||
-              (tx_ts == best_ts && best >= 0 && st.up < streams[best].up)) {
+              (tx_ts == best_ts && best >= 0 &&
+               st.up < refs[static_cast<std::size_t>(best)].up)) {
             best = static_cast<int>(s);
             best_ts = tx_ts;
-            best_pos_no_order = k;
           }
-          break;  // first unconsumed match per stream
         }
-      }
-      if (best >= 0 && !opts.use_order) {
-        // Without the order discipline we cannot infer drops from skips;
-        // just consume the matched entry (swap it out of the scan window).
-        Stream& st = streams[static_cast<std::size_t>(best)];
-        if (candidates > 1) ++local.link_ambiguous;
-        da.rx_origin[j] = TxRef{st.up, st.entries[best_pos_no_order]};
-        st.entries.erase(st.entries.begin() +
-                         static_cast<std::ptrdiff_t>(best_pos_no_order));
-        ++local.link_matched;
-        continue;
-      }
-      if (best >= 0) {
-        if (candidates > 1) ++local.link_ambiguous;
-        Stream& st = streams[static_cast<std::size_t>(best)];
-        da.rx_origin[j] = TxRef{st.up, st.head_entry()};
-        ++st.head;
-        ++local.link_matched;
-        continue;
-      }
-
-      if (!opts.use_order || !opts.use_timing) {
-        // Drop inference below needs both FIFO order and timing bounds.
-        ++local.link_unmatched;
-        continue;
-      }
-
-      // No head-of-line candidate. Per-link FIFO means that if this rx
-      // entry matches a *later* entry of some stream, every entry the
-      // match skips over was dropped at this node's input queue (it
-      // entered the queue earlier yet was never read). Scan ahead within
-      // the time bound and pick the match with the fewest skips.
-      std::size_t best_stream = streams.size();
-      std::size_t best_pos = 0;
-      std::size_t best_skips = static_cast<std::size_t>(-1);
-      for (std::size_t s = 0; s < streams.size(); ++s) {
-        Stream& st = streams[s];
-        const NodeTrace& ut = col.node(st.up);
-        for (std::size_t k = st.head; k < st.entries.size(); ++k) {
-          const std::uint32_t e = st.entries[k];
-          const TimeNs tx_ts = ut.tx_batches[out[st.up].tx_batch_of[e]].ts;
-          if (tx_ts > read_ts + opts.slack) break;  // not yet arrived
-          if (read_ts - tx_ts > opts.max_link_delay) continue;
-          if (ut.tx_ipids[e] != ipid) continue;
-          const std::size_t skips = k - st.head;
-          if (skips < best_skips) {
-            best_skips = skips;
-            best_stream = s;
-            best_pos = k;
-          }
-          break;  // first in-window match per stream is the FIFO-legal one
+        if (best >= 0) {
+          if (candidates > 1) ++local.link_ambiguous;
+          Ref& st = refs[static_cast<std::size_t>(best)];
+          da.rx_origin[j] = TxRef{st.up, st.head_entry()};
+          ++st.head;
+          ++local.link_matched;
+          continue;
         }
-      }
-      if (best_stream < streams.size()) {
-        Stream& st = streams[best_stream];
-        for (std::size_t k = st.head; k < best_pos; ++k) {
-          out[st.up].tx_dropped_downstream[st.entries[k]] = 1;
-          ++local.queue_drops_inferred;
+        if (!opts.use_timing) {
+          // Drop inference below needs both FIFO order and timing bounds.
+          ++local.link_unmatched;
+          continue;
         }
-        da.rx_origin[j] = TxRef{st.up, st.entries[best_pos]};
-        st.head = best_pos + 1;
-        ++local.link_matched;
-        ++local.link_ambiguous;  // resolved beyond head-of-line
-        continue;
+        scan_ahead(j, ipid, read_ts);
       }
-      ++local.link_unmatched;
     }
 
     // Remaining unconsumed upstream entries: dropped if their deadline has
     // passed relative to the node's last read (otherwise still in flight).
     const TimeNs last_read =
         dt.rx_batches.empty() ? 0 : dt.rx_batches.back().ts;
-    for (Stream& st : streams) {
-      for (; !st.exhausted(); ++st.head) {
-        const std::uint32_t e = st.head_entry();
-        const NodeTrace& ut = col.node(st.up);
-        const TimeNs tx_ts = ut.tx_batches[out[st.up].tx_batch_of[e]].ts;
-        if (last_read - tx_ts > opts.max_link_delay) {
-          out[st.up].tx_dropped_downstream[e] = 1;
+    for (std::size_t s = 0; s < S; ++s) {
+      Ref& st = refs[s];
+      for (; st.head < st.size; ++st.head) {
+        if (last_read - st.ts[st.head] > opts.max_link_delay) {
+          st.drop_flags[st.head_entry()] = 1;
           ++local.queue_drops_inferred;
         }
       }
@@ -211,66 +702,176 @@ std::vector<NodeAlignment> align_all(const collector::Collector& col,
     const NodeTrace& dt = col.node(d);
     NodeAlignment& da = out[d];
 
-    // Output streams keyed by destination, discovered from tx batches.
-    std::vector<NodeId> dests;
-    for (const BatchRecord& rec : dt.tx_batches) {
-      if (std::find(dests.begin(), dests.end(), rec.peer) == dests.end())
-        dests.push_back(rec.peer);
-    }
-    std::vector<Stream> streams;
-    streams.reserve(dests.size());
-    for (NodeId dest : dests) streams.push_back(build_stream(dt, d, dest));
+    // Output streams keyed by destination in first-appearance order —
+    // exactly how tx_streams[d] was built. The link pass walks the same
+    // arrays through its own cursors, so they are still pristine here.
+    std::vector<Ref> cur;
+    cur.reserve(tx_streams[d].size());
+    for (const Stream& s : tx_streams[d]) cur.push_back(make_ref(s, nullptr));
+    Ref* refs = cur.data();
 
-    for (std::uint32_t i = 0; i < dt.rx_ipids.size(); ++i) {
-      const std::uint16_t ipid = dt.rx_ipids[i];
-      const TimeNs read_ts = dt.rx_batches[da.rx_batch_of[i]].ts;
+    const std::uint32_t n_rx = static_cast<std::uint32_t>(dt.rx_ipids.size());
+    const std::uint16_t* rx_ipid = dt.rx_ipids.data();
+    const TimeNs* rx_ts = da.rx_entry_ts.data();
+    const std::size_t S = cur.size();
 
-      int best = -1;
-      TimeNs best_ts = kTimeNever;
-      int candidates = 0;
-      for (std::size_t s = 0; s < streams.size(); ++s) {
-        Stream& st = streams[s];
-        // Expired head entries (tx earlier than any remaining read can
-        // explain) are permanently unclaimable: per-node reads are
-        // time-ordered, so read_ts only grows. They occur when the tx
-        // entry's rx record is missing — a partial trace (e.g. a streamed
-        // time slice) or a lost record — and leaving one at the head would
-        // wedge the whole output stream into policy drops.
-        while (!st.exhausted()) {
-          const std::uint32_t h = st.head_entry();
-          if (dt.tx_batches[da.tx_batch_of[h]].ts + opts.slack >= read_ts)
-            break;
-          ++st.head;
-          ++local.internal_expired;
-        }
-        if (st.exhausted()) continue;
-        const std::uint32_t e = st.head_entry();
-        const TimeNs tx_ts = dt.tx_batches[da.tx_batch_of[e]].ts;
-        if (dt.tx_ipids[e] != ipid) continue;
-        if (tx_ts - read_ts > opts.max_nf_delay) continue;
-        ++candidates;
-        if (tx_ts < best_ts) {
-          best = static_cast<int>(s);
-          best_ts = tx_ts;
-        }
-      }
-      if (best >= 0) {
-        if (candidates > 1) ++local.internal_ambiguous;
-        Stream& st = streams[static_cast<std::size_t>(best)];
-        const std::uint32_t e = st.head_entry();
-        da.rx_to_tx[i] = e;
-        da.tx_to_rx[e] = i;
+    auto apply_match = [&](std::uint32_t i, std::size_t s) {
+      Ref& st = refs[s];
+      const std::uint32_t e = st.head_entry();
+      da.rx_to_tx[i] = e;
+      da.tx_to_rx[e] = i;
+      ++st.head;
+      ++local.internal_matched;
+    };
+
+    // Expired head entries (tx earlier than any remaining read can
+    // explain) are permanently unclaimable: per-node reads are
+    // time-ordered, so read_ts only grows. They occur when the tx entry's
+    // rx record is missing — a partial trace (e.g. a streamed time slice)
+    // or a lost record — and leaving one at the head would wedge the whole
+    // output stream into policy drops.
+    auto advance_expired = [&](std::size_t s, TimeNs read_ts) {
+      Ref& st = refs[s];
+      while (st.head < st.size && st.ts[st.head] + opts.slack < read_ts) {
         ++st.head;
-        ++local.internal_matched;
-      } else {
-        // The NF consumed the packet without emitting it: policy drop.
-        ++local.policy_drops_inferred;
+        ++local.internal_expired;
+      }
+    };
+
+    if (S >= 1 && S <= simd::kLanes) {
+      Heads h;
+      h.init(refs, S);
+      // The zip block needs monotone read timestamps (its no-expiry guard
+      // is evaluated at the block's last read time).
+      const bool zip_ok = rx_sorted[d] != 0;
+      std::size_t active = 0;
+      std::uint32_t run = kZipMinRun;
+      std::uint32_t i = 0;
+      while (i < n_rx) {
+        // Zip block: 16 consecutive rx entries that are all head-of-line
+        // matches of the active stream, with no other live stream's head
+        // IPID in the block (no other candidate possible) and no other
+        // head expiring inside it (no expiry advance or stat possible).
+        if (zip_ok && run >= kZipMinRun) {
+          Ref& ac = refs[active];
+          if (i + simd::kLanes <= n_rx &&
+              ac.head + simd::kLanes <= ac.size &&
+              simd::match_block(rx_ipid + i, ac.ipids + ac.head, rx_ts + i,
+                                ac.ts + ac.head, opts.slack,
+                                opts.max_nf_delay)) {
+            const TimeNs block_last_read = rx_ts[i + simd::kLanes - 1];
+            bool clean =
+                (simd::mask_less(h.ts, block_last_read - opts.slack) &
+                 h.live & ~(1u << active)) == 0;
+            if (clean) {
+              std::uint32_t others = h.live & ~(1u << active);
+              while (others) {
+                const unsigned o = std::countr_zero(others);
+                others &= others - 1;
+                if (simd::match_mask(rx_ipid + i, h.ipid[o]) != 0) {
+                  clean = false;
+                  break;
+                }
+              }
+            }
+            if (clean) {
+              if (ac.entries) {
+                const std::uint32_t* ent = ac.entries + ac.head;
+                for (std::size_t k = 0; k < simd::kLanes; ++k) {
+                  const std::uint32_t e = ent[k];
+                  da.rx_to_tx[i + k] = e;
+                  da.tx_to_rx[e] = i + static_cast<std::uint32_t>(k);
+                }
+              } else {
+                for (std::size_t k = 0; k < simd::kLanes; ++k) {
+                  const std::uint32_t e =
+                      ac.head + static_cast<std::uint32_t>(k);
+                  da.rx_to_tx[i + k] = e;
+                  da.tx_to_rx[e] = i + static_cast<std::uint32_t>(k);
+                }
+              }
+              ac.head += simd::kLanes;
+              h.refresh(refs, active);
+              local.internal_matched += simd::kLanes;
+              i += simd::kLanes;
+              continue;
+            }
+          }
+          run = 1;
+        }
+        // Head-register path.
+        const std::uint16_t ipid = rx_ipid[i];
+        const TimeNs read_ts = rx_ts[i];
+        std::uint32_t em =
+            simd::mask_less(h.ts, read_ts - opts.slack) & h.live;
+        while (em) {
+          const unsigned s = std::countr_zero(em);
+          em &= em - 1;
+          advance_expired(s, read_ts);
+          h.refresh(refs, s);
+        }
+        std::uint32_t m = simd::match_mask(h.ipid, ipid) & h.live;
+        int best = -1;
+        TimeNs best_ts = kTimeNever;
+        int candidates = 0;
+        while (m) {
+          const unsigned s = std::countr_zero(m);
+          m &= m - 1;
+          const TimeNs tx_ts = h.ts[s];
+          if (tx_ts - read_ts > opts.max_nf_delay) continue;
+          ++candidates;
+          if (tx_ts < best_ts) {
+            best = static_cast<int>(s);
+            best_ts = tx_ts;
+          }
+        }
+        if (best >= 0) {
+          if (candidates > 1) ++local.internal_ambiguous;
+          apply_match(i, static_cast<std::size_t>(best));
+          h.refresh(refs, static_cast<std::size_t>(best));
+          run = (static_cast<std::size_t>(best) == active) ? run + 1 : 1;
+          active = static_cast<std::size_t>(best);
+        } else {
+          // The NF consumed the packet without emitting it: policy drop.
+          ++local.policy_drops_inferred;
+        }
+        ++i;
+      }
+    } else {
+      // Scalar reference (no streams, or more streams than head lanes).
+      for (std::uint32_t i = 0; i < n_rx; ++i) {
+        const std::uint16_t ipid = rx_ipid[i];
+        const TimeNs read_ts = rx_ts[i];
+        int best = -1;
+        TimeNs best_ts = kTimeNever;
+        int candidates = 0;
+        for (std::size_t s = 0; s < S; ++s) {
+          advance_expired(s, read_ts);
+          const Ref& st = refs[s];
+          if (st.exhausted()) continue;
+          if (st.ipids[st.head] != ipid) continue;
+          const TimeNs tx_ts = st.ts[st.head];
+          if (tx_ts - read_ts > opts.max_nf_delay) continue;
+          ++candidates;
+          if (tx_ts < best_ts) {
+            best = static_cast<int>(s);
+            best_ts = tx_ts;
+          }
+        }
+        if (best >= 0) {
+          if (candidates > 1) ++local.internal_ambiguous;
+          apply_match(i, static_cast<std::size_t>(best));
+        } else {
+          // The NF consumed the packet without emitting it: policy drop.
+          ++local.policy_drops_inferred;
+        }
       }
     }
   };
 
-  // Pass barriers: pass 1 reads pass 0's tx_batch_of maps of upstream
-  // nodes; pass 2 only touches out[d] but keeps the barrier for clarity.
+  // Pass barriers: pass 1 reads pass 0's stream arrays and timestamp
+  // lanes of upstream nodes; pass 2 walks streams pass 1 also read (both
+  // through private cursors).
   obs::Registry& reg = obs::Registry::global();
   const std::size_t grain = chunk_grain(par, n);
   {

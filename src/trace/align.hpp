@@ -71,9 +71,14 @@ struct NodeAlignment {
   // Downstream fate of tx entries (filled while aligning the downstream
   // node): true = dropped at the downstream input queue.
   std::vector<std::uint8_t> tx_dropped_downstream;
-  // Entry -> batch index maps (for timestamp lookup).
+  // Entry -> batch index maps (for batch metadata lookup).
   std::vector<std::uint32_t> rx_batch_of;
   std::vector<std::uint32_t> tx_batch_of;
+  // Entry -> batch timestamp, expanded to structure-of-arrays lanes so the
+  // hot loops (alignment candidate checks, journey walk-back) read one
+  // contiguous value instead of chasing entry -> batch -> record.
+  std::vector<TimeNs> rx_entry_ts;
+  std::vector<TimeNs> tx_entry_ts;
 
   friend bool operator==(const NodeAlignment&, const NodeAlignment&) = default;
 };
@@ -112,11 +117,18 @@ struct AlignStats {
 /// upstream `tx_dropped_downstream` flags, land on elements owned by
 /// exactly one downstream node), and stats are accumulated per node and
 /// merged in node-id order — the output is identical to a sequential run.
+///
+/// `recycle`, when non-null, donates a previous call's return value: its
+/// per-node lane buffers are moved in and refilled in place, which avoids
+/// re-faulting ~tens of MB of freshly mmap'd pages on every window of a
+/// streaming run (the lanes are written with assign(), so the donated
+/// contents never leak into the result; *recycle is left moved-from).
 std::vector<NodeAlignment> align_all(const collector::Collector& col,
                                      const GraphView& graph,
                                      const AlignOptions& opts,
                                      AlignStats* stats,
                                      ThreadPool* pool = nullptr,
-                                     const ParallelOptions& par = {});
+                                     const ParallelOptions& par = {},
+                                     std::vector<NodeAlignment>* recycle = nullptr);
 
 }  // namespace microscope::trace

@@ -45,15 +45,15 @@ std::uint32_t ReconstructedTrace::journey_of_rx(NodeId node,
 
 namespace {
 
-/// Timestamp of a tx entry at a node.
-TimeNs tx_ts_of(const collector::NodeTrace& t, const NodeAlignment& a,
-                std::uint32_t idx) {
-  return t.tx_batches[a.tx_batch_of[idx]].ts;
+/// Timestamp of a tx entry at a node, from the alignment's SoA lanes (one
+/// contiguous load; the entry -> batch -> record chase only remains for
+/// batch metadata like the peer below).
+TimeNs tx_ts_of(const NodeAlignment& a, std::uint32_t idx) {
+  return a.tx_entry_ts[idx];
 }
 
-TimeNs rx_ts_of(const collector::NodeTrace& t, const NodeAlignment& a,
-                std::uint32_t idx) {
-  return t.rx_batches[a.rx_batch_of[idx]].ts;
+TimeNs rx_ts_of(const NodeAlignment& a, std::uint32_t idx) {
+  return a.rx_entry_ts[idx];
 }
 
 NodeId tx_peer_of(const collector::NodeTrace& t, const NodeAlignment& a,
@@ -117,14 +117,13 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
         j.source = cur;
         j.source_idx = cur_tx;
         const auto& st = col.node(cur);
-        j.source_time = tx_ts_of(st, rt.alignments_[cur], cur_tx);
+        j.source_time = tx_ts_of(rt.alignments_[cur], cur_tx);
         if (cur_tx < st.tx_flows.size()) j.flow = st.tx_flows[cur_tx];
         j.ipid = st.tx_ipids[cur_tx];
         jid_of_tx[cur][cur_tx] = jid;
         complete = true;
         break;
       }
-      const auto& t = col.node(cur);
       const NodeAlignment& a = rt.alignments_[cur];
       std::uint32_t rx = cur_rx;
       if (rx == kNoEntry && cur_tx != kNoEntry) rx = a.tx_to_rx[cur_tx];
@@ -134,16 +133,15 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
       hop.node = cur;
       hop.rx_idx = rx;
       hop.tx_idx = cur_tx;
-      hop.read = rx_ts_of(t, a, rx);
-      hop.depart = cur_tx != kNoEntry ? tx_ts_of(t, a, cur_tx) : kTimeNever;
+      hop.read = rx_ts_of(a, rx);
+      hop.depart = cur_tx != kNoEntry ? tx_ts_of(a, cur_tx) : kTimeNever;
       if (cur_tx != kNoEntry) jid_of_tx[cur][cur_tx] = jid;
       rt.jid_of_rx_[cur][rx] = jid;
 
       const TxRef origin = a.rx_origin[rx];
       if (origin.valid()) {
-        hop.arrival = tx_ts_of(col.node(origin.node),
-                               rt.alignments_[origin.node], origin.idx) +
-                      opts.prop_delay;
+        hop.arrival =
+            tx_ts_of(rt.alignments_[origin.node], origin.idx) + opts.prop_delay;
       } else {
         hop.arrival = hop.read;
       }
@@ -243,7 +241,7 @@ ReconstructedTrace reconstruct(const collector::Collector& col,
       s.node = u;
       s.tx = k;
       s.kind = WalkSeed::Kind::kQueueDrop;
-      s.drop_arrival = tx_ts_of(t, a, k) + opts.prop_delay;
+      s.drop_arrival = tx_ts_of(a, k) + opts.prop_delay;
       seeds.push_back(s);
     }
   }
