@@ -1,0 +1,245 @@
+// Exact-vs-sketch aggregation accuracy across memory budgets.
+//
+// The bounded-memory sketch aggregator (src/sketch/) trades pattern
+// fidelity for a hard byte budget. This bench streams the same two traces
+// — the Fig. 10 evaluation chain with a NAT interrupt, and a 200-NF
+// generated deep DAG with layered interrupts — through an exact
+// StreamingAggregator and SketchAggregators at a ladder of budgets, and
+// scores each budget point on:
+//
+//   * top-10 culprit recall: fraction of the exact aggregator's top-10
+//     culprit board recovered by the sketch (the board is exact-but-capped
+//     in sketch mode, so this measures board-eviction loss only);
+//   * pattern count and estimated CM error bound (sketch self-report);
+//   * realized memory footprint vs the exact mode's.
+//
+// Machine-readable results land in $MICROSCOPE_BENCH_OUT_DIR (or cwd) /
+// ACCURACY_sketch.json. The process self-gates: recall < 0.8 at the
+// default 1 MiB budget on either trace exits nonzero, which fails the CI
+// bench-smoke job (the ISSUE-9 acceptance floor).
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+
+using namespace microscope;
+
+namespace {
+
+constexpr std::size_t kDefaultBudget = 1 << 20;
+constexpr double kRecallFloor = 0.8;
+const std::vector<std::size_t> kBudgets = {16 << 10, 64 << 10, 256 << 10,
+                                           1 << 20, 4 << 20};
+
+struct BudgetPoint {
+  std::size_t budget{0};
+  double recall{0.0};
+  std::size_t patterns{0};
+  std::size_t memory_bytes{0};
+  double est_error_bound{0.0};
+  std::uint64_t hh_evicted{0};
+};
+
+struct TraceRow {
+  std::string name;
+  std::size_t exact_memory_bytes{0};
+  std::size_t exact_patterns{0};
+  std::vector<BudgetPoint> points;
+};
+
+/// A trace the bench can replay repeatedly: the recorded collector plus
+/// everything needed to build an engine around it.
+struct ReplayableTrace {
+  std::string name;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<collector::Collector> col;
+  std::unique_ptr<nf::Topology> topo;  // owned when not inside a Run
+  const nf::Topology* topo_view{nullptr};
+  online::OnlineOptions oopt;
+  autofocus::NfCatalog catalog;
+};
+
+ReplayableTrace fig10_trace() {
+  ReplayableTrace t;
+  t.name = "fig10_chain";
+  t.sim = std::make_unique<sim::Simulator>();
+  t.col = std::make_unique<collector::Collector>();
+  auto net = eval::build_fig10(*t.sim, t.col.get());
+  nf::CaidaLikeOptions topts;
+  topts.duration =
+      static_cast<DurationNs>(30'000'000.0 * bench::bench_scale());
+  topts.rate_mpps = 1.0;
+  topts.num_flows = 600;
+  net.topo->source(net.source).load(nf::generate_caida_like(topts));
+  nf::InjectionLog log;
+  nf::schedule_interrupt(*t.sim, net.topo->nf(net.nats[0]), 4_ms, 600_us,
+                         log);
+  nf::schedule_interrupt(*t.sim, net.topo->nf(net.vpns[1]), 14_ms, 400_us,
+                         log);
+  t.sim->run_until(topts.duration + 20_ms);
+
+  t.oopt.window_ns = 5_ms;
+  t.oopt.slack_ns = 5_ms;
+  t.oopt.latency_threshold = 150_us;
+  t.oopt.diagnoser.max_depth = 5;
+  t.oopt.diagnoser.period.max_lookback = 3_ms;
+  t.oopt.reconstruct.prop_delay = net.topo->options().prop_delay;
+  t.catalog = eval::make_catalog(*net.topo);
+  t.topo = std::move(net.topo);
+  t.topo_view = t.topo.get();
+  return t;
+}
+
+ReplayableTrace deep_dag_trace() {
+  ReplayableTrace t;
+  t.name = "deep_dag_200nf";
+  eval::DeepDagOptions opts;
+  opts.gen.num_nfs = 200;
+  opts.gen.layers = 8;
+  opts.gen.target_utilization = 0.35;
+  opts.gen.utilization_spread = 0.05;
+  opts.traffic.duration =
+      static_cast<DurationNs>(80'000'000.0 * bench::bench_scale());
+  opts.traffic.rate_mpps = 1.0;
+  opts.traffic.num_flows = 2000;
+  opts.traffic.zipf_skew = 0.6;
+  opts.interrupts = 4;
+  opts.interrupt_min = 2_ms;
+  opts.interrupt_max = 4_ms;
+  opts.first_at = 12_ms;
+  opts.spacing = 18_ms;
+  opts.min_target_layer = 3;
+  opts.seed = 5;
+  eval::DeepDagRun run = eval::run_deep_dag(opts);
+
+  t.oopt.window_ns = 5_ms;
+  t.oopt.slack_ns = 5_ms;
+  t.oopt.latency_threshold = 150_us;
+  t.oopt.diagnoser.max_depth = 5;
+  t.oopt.diagnoser.period.max_lookback = 3_ms;
+  t.oopt.reconstruct.prop_delay = run.net.topo->options().prop_delay;
+  t.catalog = eval::make_catalog(*run.net.topo);
+  t.sim = std::move(run.sim);
+  t.col = std::move(run.collector);
+  t.topo = std::move(run.net.topo);
+  t.topo_view = t.topo.get();
+  return t;
+}
+
+std::set<std::pair<NodeId, int>> top_culprits(
+    const online::CulpritAggregator& agg, std::size_t k) {
+  std::set<std::pair<NodeId, int>> out;
+  const auto top = agg.top();
+  for (std::size_t i = 0; i < top.size() && i < k; ++i)
+    out.insert({top[i].culprit.node, static_cast<int>(top[i].culprit.kind)});
+  return out;
+}
+
+TraceRow score_trace(const ReplayableTrace& t) {
+  TraceRow row;
+  row.name = t.name;
+
+  online::OnlineEngine exact(trace::graph_view(*t.topo_view),
+                             t.topo_view->peak_rates(), t.oopt);
+  online::replay_collector(*t.col, exact, 64);
+  const auto exact_top = top_culprits(exact.aggregator(), 10);
+  row.exact_memory_bytes = exact.aggregator().memory_bytes();
+  row.exact_patterns = exact.aggregator().patterns(t.catalog).size();
+
+  for (const std::size_t budget : kBudgets) {
+    online::OnlineOptions sopt = t.oopt;
+    sopt.agg_memory_budget = budget;
+    sopt.agg_catalog = t.catalog;
+    online::OnlineEngine eng(trace::graph_view(*t.topo_view),
+                             t.topo_view->peak_rates(), sopt);
+    online::replay_collector(*t.col, eng, 64);
+    const auto* sk =
+        dynamic_cast<const sketch::SketchAggregator*>(&eng.aggregator());
+    if (sk == nullptr) {
+      std::cerr << "budget " << budget
+                << " did not select the sketch aggregator\n";
+      std::exit(2);
+    }
+    const auto sketch_top = top_culprits(eng.aggregator(), 10);
+    std::size_t inter = 0;
+    for (const auto& c : exact_top) inter += sketch_top.count(c);
+    BudgetPoint p;
+    p.budget = budget;
+    p.recall = exact_top.empty()
+                   ? 1.0
+                   : static_cast<double>(inter) /
+                         static_cast<double>(exact_top.size());
+    p.patterns = eng.aggregator().patterns(t.catalog).size();
+    p.memory_bytes = eng.aggregator().memory_bytes();
+    p.est_error_bound = sk->stats().est_error_bound;
+    p.hh_evicted = sk->stats().hh_evicted;
+    row.points.push_back(p);
+  }
+  return row;
+}
+
+std::string out_path() {
+  std::string dir = ".";
+  if (const char* d = std::getenv("MICROSCOPE_BENCH_OUT_DIR")) dir = d;
+  return dir + "/ACCURACY_sketch.json";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "# Exact-vs-sketch aggregation accuracy across budgets\n";
+  std::cout << "# gate: top-10 culprit recall >= " << kRecallFloor << " at "
+            << kDefaultBudget << " B\n\n";
+
+  const std::vector<TraceRow> rows = {score_trace(fig10_trace()),
+                                      score_trace(deep_dag_trace())};
+
+  bool gate_ok = true;
+  for (const TraceRow& r : rows) {
+    std::cout << r.name << ": exact memory=" << r.exact_memory_bytes
+              << " B, patterns=" << r.exact_patterns << "\n";
+    for (const BudgetPoint& p : r.points) {
+      std::cout << "  budget=" << (p.budget >> 10)
+                << "KiB recall=" << eval::fmt_double(p.recall, 3)
+                << " patterns=" << p.patterns << " mem=" << p.memory_bytes
+                << " B est_err<=" << eval::fmt_double(p.est_error_bound, 2)
+                << " hh_evicted=" << p.hh_evicted << "\n";
+      if (p.budget == kDefaultBudget && p.recall < kRecallFloor)
+        gate_ok = false;
+    }
+  }
+
+  std::ofstream os(out_path());
+  os << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const TraceRow& r = rows[i];
+    os << "  \"" << r.name << "\": {\"exact_memory_bytes\": "
+       << r.exact_memory_bytes << ", \"exact_patterns\": " << r.exact_patterns
+       << ", \"budgets\": [\n";
+    for (std::size_t j = 0; j < r.points.size(); ++j) {
+      const BudgetPoint& p = r.points[j];
+      os << "    {\"budget\": " << p.budget << ", \"recall\": " << p.recall
+         << ", \"patterns\": " << p.patterns
+         << ", \"memory_bytes\": " << p.memory_bytes
+         << ", \"est_error_bound\": " << p.est_error_bound
+         << ", \"hh_evicted\": " << p.hh_evicted << "}"
+         << (j + 1 < r.points.size() ? "," : "") << "\n";
+    }
+    os << "  ]}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "}\n";
+  std::cout << "\nwrote " << out_path() << "\n";
+
+  if (!gate_ok) {
+    std::cerr << "FAIL: top-10 culprit recall below " << kRecallFloor
+              << " at the default " << kDefaultBudget << " B budget\n";
+    return 1;
+  }
+  return 0;
+}

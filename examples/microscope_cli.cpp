@@ -35,6 +35,12 @@
 //                                     stream reaches t (repeatable)
 //     --shard-remove t=<ms>[,slot=<k>]  with --shards: retire a shard at t
 //                                     (default: the highest active slot)
+//     --agg-memory-budget <bytes>     follow modes: cap the live culprit
+//                                     aggregation at this byte budget by
+//                                     switching to the count-min/heavy-
+//                                     hitter sketch aggregator (suffixes
+//                                     k/m/g accepted; 0 = exact, the
+//                                     default; see DESIGN.md §14)
 //     --patterns                      also run pattern aggregation
 //     --json                          emit the report as JSON
 //     --metrics[=json]                after the report, dump the pipeline's
@@ -118,6 +124,19 @@ struct BugSpec {
 [[noreturn]] void usage_error(const std::string& msg) {
   std::cerr << "error: " << msg << "\nsee the header comment for usage\n";
   std::exit(2);
+}
+
+/// Parse a byte count with an optional k/m/g suffix (binary multiples).
+std::size_t parse_bytes_or_die(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0) usage_error("bad byte count " + s);
+  double mult = 1.0;
+  if (*end == 'k' || *end == 'K') mult = 1024.0;
+  else if (*end == 'm' || *end == 'M') mult = 1024.0 * 1024.0;
+  else if (*end == 'g' || *end == 'G') mult = 1024.0 * 1024.0 * 1024.0;
+  else if (*end != '\0') usage_error("bad byte count " + s);
+  return static_cast<std::size_t>(v * mult);
 }
 
 const char* culprit_name(const autofocus::NfCatalog& catalog, NodeId node) {
@@ -223,6 +242,20 @@ class ReshardingTarget : public online::StreamTarget {
   std::size_t next_{0};
 };
 
+/// With --agg-memory-budget: one line of sketch internals (table shape,
+/// fill, evictions, current error bound). No-op in exact mode.
+void print_sketch_summary(const online::CulpritAggregator& agg) {
+  const auto* sk = dynamic_cast<const sketch::SketchAggregator*>(&agg);
+  if (!sk) return;
+  const sketch::SketchStats st = sk->stats();
+  std::cout << "sketch: budget " << st.budget_bytes << " B, cm " << st.width
+            << "x" << st.depth << ", tracked " << st.tracked_size << "/"
+            << st.tracked_capacity << ", board " << st.board_size << "/"
+            << st.board_capacity << ", evicted " << st.hh_evicted << " hh + "
+            << st.board_evicted << " board, est err <= " << st.est_error_bound
+            << "\n";
+}
+
 /// Stream counters and the live culprit board (windows were already
 /// printed live by follow_observer).
 void print_follow_summary(const online::OnlineEngine& eng,
@@ -255,6 +288,7 @@ void print_follow_summary(const online::OnlineEngine& eng,
                 << core::to_string(t.culprit.kind) << "]  score " << t.score
                 << "  (" << t.windows_seen << " windows)\n";
   }
+  print_sketch_summary(eng.aggregator());
 }
 
 /// Sharded-mode counterpart of print_follow_summary: stream counters, the
@@ -286,6 +320,7 @@ void print_shard_summary(shard::ShardedEngine& eng,
                 << core::to_string(t.culprit.kind) << "]  score " << t.score
                 << "  (" << t.windows_seen << " windows)\n";
   }
+  print_sketch_summary(eng.aggregator());
 }
 
 /// Parse a dotted quad; exits with a usage error on malformed input.
@@ -378,6 +413,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string trace_jsonl;
   std::string explain_spec;
+  std::size_t agg_memory_budget = 0;
   std::vector<BurstSpec> bursts;
   std::vector<InterruptSpec> interrupts;
   std::optional<BugSpec> bug;
@@ -425,6 +461,8 @@ int main(int argc, char** argv) {
            static_cast<std::int64_t>(get_num(kv, "slot", -1))});
     } else if (arg == "--window") {
       window = static_cast<DurationNs>(std::atof(next().c_str()) * 1e6);
+    } else if (arg == "--agg-memory-budget") {
+      agg_memory_budget = parse_bytes_or_die(next());
     } else if (arg == "--patterns") {
       want_patterns = true;
     } else if (arg == "--json") {
@@ -503,6 +541,10 @@ int main(int argc, char** argv) {
   oopt.decode.policy = strict_decode ? collector::DecodePolicy::kStrict
                                      : collector::DecodePolicy::kLenient;
   oopt.decode.max_ts_regression_ns = 10_ms;
+  if (agg_memory_budget > 0) {
+    oopt.agg_memory_budget = agg_memory_budget;
+    oopt.agg_catalog = eval::make_catalog(topo);
+  }
 
   // Registered up front so --metrics exports enumerate every pipeline
   // stage, zero-valued where this invocation never ran one.
@@ -566,7 +608,7 @@ int main(int argc, char** argv) {
     else
       print_follow_summary(*single_eng, catalog);
   };
-  auto follow_aggregator = [&]() -> const online::StreamingAggregator& {
+  auto follow_aggregator = [&]() -> const online::CulpritAggregator& {
     return sharded_eng ? sharded_eng->aggregator() : single_eng->aggregator();
   };
 

@@ -252,6 +252,13 @@ void register_pipeline_metrics(Registry& reg) {
   reg.gauge("online.ring_dropped_records");
   reg.gauge("online.retained_batches");
   reg.gauge("online.retained_bytes");
+  // Stage 5c: culprit aggregation (exact board cap + bounded-memory
+  // sketch mode, DESIGN.md §14).
+  reg.counter("agg.board_evicted");
+  reg.gauge("sketch.budget_bytes");
+  reg.gauge("sketch.fill_frac");
+  reg.gauge("sketch.est_error_bound");
+  reg.counter("sketch.hh_evicted");
 }
 
 namespace {

@@ -54,7 +54,8 @@ OnlineEngine::OnlineEngine(trace::GraphView graph,
     : opts_(opts),
       wd_(std::move(graph), std::move(peak_rates), opts),
       wm_(opts.window_ns, opts.slack_ns, opts.idle_timeout_ns),
-      agg_(opts.aggregator),
+      agg_(make_aggregator(opts.aggregator, opts.agg_memory_budget,
+                           opts.agg_catalog)),
       decoder_(
           [this](NodeId n) { return store_.has_node(n) && store_.full_flow(n); },
           [this](const collector::DecodedBatch& b) {
@@ -175,7 +176,7 @@ std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
     obs::TraceSpan wspan("online", "window.close");
     obs::ScopedTimer close_timer(m.window_close_ns);
     WindowResult res = diagnose_window(b);
-    agg_.ingest(res.diagnoses);
+    agg_->ingest(res.diagnoses);
     close_timer.stop();
     wspan.set_items(res.diagnoses.size());
     wspan.stop();

@@ -120,7 +120,7 @@ class OnlineEngine : public StreamTarget {
   /// Stats snapshot (retained_* recomputed at call time).
   OnlineStats stats() const;
 
-  const StreamingAggregator& aggregator() const { return agg_; }
+  const CulpritAggregator& aggregator() const { return *agg_; }
   const WindowManager& windows() const { return wm_; }
   /// Effective history (after derivation when options.history_ns == 0).
   DurationNs history_ns() const { return wd_.history_ns(); }
@@ -135,7 +135,7 @@ class OnlineEngine : public StreamTarget {
   WindowDiagnoser wd_;
   StreamStore store_;
   WindowManager wm_;
-  StreamingAggregator agg_;
+  std::unique_ptr<CulpritAggregator> agg_;
   collector::WireCallbackDecoder decoder_;
   OnlineStats stats_;
   /// Highest window index announced with a "window.open" trace instant.

@@ -67,6 +67,14 @@ struct OnlineOptions {
   core::DiagnoserOptions diagnoser = streaming_diagnoser_defaults();
   trace::ReconstructOptions reconstruct{};
   StreamingAggregatorOptions aggregator{};
+  /// Nonzero selects the bounded-memory sketch aggregator sized to this
+  /// byte budget (DESIGN.md §14, CLI --agg-memory-budget); 0 keeps the
+  /// exact StreamingAggregator.
+  std::size_t agg_memory_budget = 0;
+  /// NF catalog for the sketch's instance -> type generalization ladder;
+  /// only consulted when agg_memory_budget > 0 (nodes missing from it
+  /// fall back to type 0).
+  autofocus::NfCatalog agg_catalog{};
   /// Wire decode validation for feed_bytes/drain_ring ingestion. Defaults
   /// to lenient raw decode with the timestamp check off (the ring is a
   /// trusted in-process stream); tailing a file from another process is

@@ -93,7 +93,9 @@ ShardedEngine::ShardedEngine(trace::GraphView graph,
       wd_(std::move(graph), std::move(peak_rates), opts.online),
       wm_(opts.online.window_ns, opts.online.slack_ns,
           opts.online.idle_timeout_ns),
-      agg_(opts.online.aggregator),
+      agg_(online::make_aggregator(opts.online.aggregator,
+                                   opts.online.agg_memory_budget,
+                                   opts.online.agg_catalog)),
       decoder_(
           [this](NodeId n) {
             return n < node_full_flow_.size() && node_full_flow_[n];
@@ -446,7 +448,7 @@ std::vector<online::WindowResult> ShardedEngine::close_ready(bool finishing) {
       merge_timer.stop();
       res = wd_.diagnose(b, col);
     }
-    agg_.ingest(res.diagnoses);
+    agg_->ingest(res.diagnoses);
     close_timer.stop();
     wspan.set_items(res.diagnoses.size());
     wspan.stop();

@@ -184,7 +184,7 @@ class ShardedEngine : public online::StreamTarget {
   const collector::DecodeStats& decode_stats() const {
     return decoder_.stats();
   }
-  const online::StreamingAggregator& aggregator() const { return agg_; }
+  const online::CulpritAggregator& aggregator() const { return *agg_; }
   const online::WindowManager& windows() const { return wm_; }
   DurationNs history_ns() const { return wd_.history_ns(); }
 
@@ -238,7 +238,7 @@ class ShardedEngine : public online::StreamTarget {
   ShardedOptions opts_;
   online::WindowDiagnoser wd_;
   online::WindowManager wm_;
-  online::StreamingAggregator agg_;
+  std::unique_ptr<online::CulpritAggregator> agg_;
   collector::WireCallbackDecoder decoder_;
   MaglevTable maglev_;
   std::vector<std::unique_ptr<Shard>> shards_;  // active + retired

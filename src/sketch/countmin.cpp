@@ -1,0 +1,24 @@
+#include "sketch/countmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace microscope::sketch {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth)
+    : width_(std::max<std::size_t>(width, 1)),
+      depth_(std::max<std::size_t>(depth, 1)),
+      counters_(width_ * depth_, 0.0) {}
+
+void CountMinSketch::scale(double factor, double flush_below) noexcept {
+  for (double& c : counters_) {
+    c *= factor;
+    if (c < flush_below) c = 0.0;
+  }
+}
+
+double CountMinSketch::epsilon() const noexcept {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+}  // namespace microscope::sketch
