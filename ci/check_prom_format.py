@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format 0.0.4 exposition (the /metrics body).
+
+Checks, per metric family:
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  * every sample is preceded by its family's # HELP and # TYPE lines,
+    and the TYPE is one of counter/gauge/histogram
+  * counter sample names end in _total
+  * histogram families expose _bucket/_sum/_count, bucket values are
+    cumulative (monotonically non-decreasing in le order), the le="+Inf"
+    bucket is present and equals _count
+  * no duplicate samples, no stray text
+
+Usage: check_prom_format.py [FILE]   (stdin when FILE is omitted)
+Exits nonzero with a line-numbered complaint on the first violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (\w+)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? ([0-9eE+.infNa-]+)$"
+)
+LE_RE = re.compile(r'le="([^"]+)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def family_of(sample_name: str, types: dict) -> str:
+    """Map a sample name to its declared family (histogram suffix folding)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and base in types:
+            return base
+    return sample_name
+
+
+def fail(lineno: int, msg: str) -> None:
+    print(f"check_prom_format: line {lineno}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    text = (
+        open(sys.argv[1], encoding="utf-8").read()
+        if len(sys.argv) > 1
+        else sys.stdin.read()
+    )
+    helps: dict = {}
+    types: dict = {}
+    seen_samples = set()
+    # family -> list of (le, value) in exposition order, and scalar samples
+    buckets: dict = {}
+    sums: dict = {}
+    counts: dict = {}
+    n_samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            m = HELP_RE.match(line)
+            if not m:
+                fail(lineno, f"malformed HELP line: {line!r}")
+            helps[m.group(1)] = m.group(2)
+            continue
+        if line.startswith("# TYPE "):
+            m = TYPE_RE.match(line)
+            if not m:
+                fail(lineno, f"malformed TYPE line: {line!r}")
+            name, mtype = m.group(1), m.group(2)
+            if mtype not in VALID_TYPES:
+                fail(lineno, f"unknown metric type {mtype!r} for {name}")
+            if name in types and types[name] != mtype:
+                fail(lineno, f"conflicting TYPE for {name}")
+            if name not in helps:
+                fail(lineno, f"TYPE before HELP for {name}")
+            types[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # comment
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"malformed sample line: {line!r}")
+        sample_name, labels, raw_value = m.group(1), m.group(2) or "", m.group(3)
+        if not NAME_RE.match(sample_name):
+            fail(lineno, f"invalid metric name {sample_name!r}")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            fail(lineno, f"unparseable value {raw_value!r}")
+        family = family_of(sample_name, types)
+        if family not in types:
+            fail(lineno, f"sample {sample_name} has no preceding # TYPE")
+        mtype = types[family]
+        key = (sample_name, labels)
+        if key in seen_samples:
+            fail(lineno, f"duplicate sample {sample_name}{labels}")
+        seen_samples.add(key)
+        n_samples += 1
+
+        if mtype == "counter" and not sample_name.endswith("_total"):
+            fail(lineno, f"counter sample {sample_name} must end in _total")
+        if mtype == "histogram":
+            if sample_name.endswith("_bucket"):
+                le = LE_RE.search(labels)
+                if not le:
+                    fail(lineno, f"histogram bucket without le label: {line!r}")
+                buckets.setdefault(family, []).append((le.group(1), value))
+            elif sample_name.endswith("_sum"):
+                sums[family] = value
+            elif sample_name.endswith("_count"):
+                counts[family] = value
+            else:
+                fail(lineno, f"bare sample {sample_name} for histogram {family}")
+        elif sample_name.endswith("_bucket"):
+            fail(lineno, f"_bucket sample for non-histogram {family}")
+
+    for family, fam_buckets in buckets.items():
+        if family not in sums:
+            fail(0, f"histogram {family} missing _sum")
+        if family not in counts:
+            fail(0, f"histogram {family} missing _count")
+        les = [le for le, _ in fam_buckets]
+        if les[-1] != "+Inf":
+            fail(0, f"histogram {family} last bucket is {les[-1]!r}, not +Inf")
+        values = [v for _, v in fam_buckets]
+        if any(b > a for a, b in zip(values[1:], values)):
+            fail(0, f"histogram {family} buckets are not cumulative: {values}")
+        if values[-1] != counts[family]:
+            fail(
+                0,
+                f"histogram {family} +Inf bucket {values[-1]} != _count "
+                f"{counts[family]}",
+            )
+
+    if n_samples == 0:
+        fail(0, "no samples in exposition")
+    print(f"check_prom_format: OK ({n_samples} samples, {len(types)} families)")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,30 @@
 //                                     trace-event JSON (open in Perfetto /
 //                                     chrome://tracing)
 //     --trace-jsonl <path>            same timeline as structured JSONL
+//     --http <addr:port|:port>        serve the live introspection plane
+//                                     (/metrics /metrics.json /healthz
+//                                     /readyz /version /windows /series
+//                                     /explain) while the run executes;
+//                                     binds 127.0.0.1 unless addr is given
+//                                     (see DESIGN.md §15)
+//     --sample-every <ms>             metric time-series sampling cadence
+//                                     for /series and the health watchdog
+//                                     (default 1000; needs --http)
+//     --health-lag-ms <deg>,<unh>     watermark-lag-p95 health thresholds
+//                                     in ms (default 100,1000)
+//     --health-drops <deg>,<unh>      dropped batches+records per second
+//                                     health thresholds (default 1,50)
+//     --health-recover-ticks <n>      consecutive calm samples before a
+//                                     health downgrade (default 3)
+//     --http-linger <ms>              keep serving (and sampling) this long
+//                                     after the run finishes, so recovery
+//                                     to healthy is observable
+//     --pace <ms>                     follow modes: sleep this long per
+//                                     closed window, so a replay is slow
+//                                     enough to query live
+//     --max-retained <n>              follow modes: backpressure cap on
+//                                     retained batches (0 = unlimited);
+//                                     small values force visible drops
 //     --explain top=<k>|victim=<journey>|flow=<a.b.c.d>
 //                                     offline mode only: instead of the
 //                                     report, print the full provenance of
@@ -69,8 +93,11 @@
 //   microscope_cli --follow --shards 4 --shard-add t=50 --shard-remove t=100
 //   microscope_cli --save-stream trace.bin && microscope_cli --follow-file trace.bin
 //   microscope_cli --metrics=json | tail -1 | python3 -m json.tool
+//   microscope_cli --follow --http :9100 --pace 20 --http-linger 10000 &
+//   curl -s localhost:9100/metrics | head
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,6 +107,7 @@
 #include <optional>
 #include <span>
 #include <sstream>
+#include <thread>
 
 #include "microscope/microscope.hpp"
 
@@ -151,16 +179,22 @@ void print_window_line(const online::WindowResult& w) {
             << (w.idle_forced ? " (idle-forced)" : "") << "\n";
 }
 
-/// Live per-window observer: prints each window as it closes and dumps a
-/// metrics snapshot to stderr every `metrics_every` windows.
-online::WindowCallback follow_observer(std::size_t metrics_every) {
+/// Live per-window observer: prints each window as it closes, dumps a
+/// metrics snapshot to stderr every `metrics_every` windows (through the
+/// same obs::render_text path the /metrics endpoint uses, so export cost
+/// lands in obs.render_ns either way), and sleeps `pace_ms` per window so
+/// a replay can be queried while it runs.
+online::WindowCallback follow_observer(std::size_t metrics_every,
+                                       std::size_t pace_ms) {
   auto seen = std::make_shared<std::size_t>(0);
-  return [metrics_every, seen](const online::WindowResult& w) {
+  return [metrics_every, pace_ms, seen](const online::WindowResult& w) {
     print_window_line(w);
     if (metrics_every > 0 && ++*seen % metrics_every == 0) {
       std::cerr << "--- metrics after " << *seen << " windows ---\n"
-                << obs::to_text(obs::Registry::global().snapshot());
+                << obs::render_text();
     }
+    if (pace_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
   };
 }
 
@@ -414,6 +448,12 @@ int main(int argc, char** argv) {
   std::string trace_jsonl;
   std::string explain_spec;
   std::size_t agg_memory_budget = 0;
+  std::string http_spec;
+  std::size_t sample_every_ms = 1000;
+  std::size_t http_linger_ms = 0;
+  std::size_t pace_ms = 0;
+  std::size_t max_retained = 0;
+  obs::HealthOptions health_opts;
   std::vector<BurstSpec> bursts;
   std::vector<InterruptSpec> interrupts;
   std::optional<BugSpec> bug;
@@ -476,6 +516,36 @@ int main(int argc, char** argv) {
       want_metrics = true;
     } else if (arg == "--metrics-every") {
       metrics_every = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--http") {
+      http_spec = next();
+    } else if (arg == "--sample-every") {
+      sample_every_ms = static_cast<std::size_t>(std::atoll(next().c_str()));
+      if (sample_every_ms == 0) usage_error("--sample-every needs ms >= 1");
+    } else if (arg == "--http-linger") {
+      http_linger_ms = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--pace") {
+      pace_ms = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--max-retained") {
+      max_retained = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--health-lag-ms") {
+      const std::string v = next();
+      const auto comma = v.find(',');
+      if (comma == std::string::npos)
+        usage_error("--health-lag-ms wants <degraded>,<unhealthy> in ms");
+      health_opts.lag_p95_degraded_ns = std::atof(v.c_str()) * 1e6;
+      health_opts.lag_p95_unhealthy_ns =
+          std::atof(v.c_str() + comma + 1) * 1e6;
+    } else if (arg == "--health-drops") {
+      const std::string v = next();
+      const auto comma = v.find(',');
+      if (comma == std::string::npos)
+        usage_error("--health-drops wants <degraded>,<unhealthy> per second");
+      health_opts.drop_rate_degraded = std::atof(v.c_str());
+      health_opts.drop_rate_unhealthy = std::atof(v.c_str() + comma + 1);
+    } else if (arg == "--health-recover-ticks") {
+      health_opts.recover_ticks = std::atoi(next().c_str());
+      if (health_opts.recover_ticks < 1)
+        usage_error("--health-recover-ticks needs n >= 1");
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--trace-jsonl") {
@@ -541,6 +611,7 @@ int main(int argc, char** argv) {
   oopt.decode.policy = strict_decode ? collector::DecodePolicy::kStrict
                                      : collector::DecodePolicy::kLenient;
   oopt.decode.max_ts_regression_ns = 10_ms;
+  oopt.max_retained_batches = max_retained;
   if (agg_memory_budget > 0) {
     oopt.agg_memory_budget = agg_memory_budget;
     oopt.agg_catalog = eval::make_catalog(topo);
@@ -551,9 +622,57 @@ int main(int argc, char** argv) {
   obs::register_pipeline_metrics();
   auto dump_metrics = [&] {
     if (!want_metrics) return;
-    const obs::Snapshot snap = obs::Registry::global().snapshot();
-    std::cout << (metrics_json ? obs::to_json(snap) + "\n"
-                               : obs::to_text(snap));
+    std::cout << (metrics_json ? obs::render_json() + "\n"
+                               : obs::render_text());
+  };
+
+  // ---- live introspection plane (--http, DESIGN.md §15) ----
+  // Declaration order is the shutdown contract: the server (last) dies
+  // first, then the sampler joins, and only then do the watchdog and the
+  // series store it feeds go away.
+  std::shared_ptr<obs::IntrospectionHub> hub;
+  std::unique_ptr<obs::TimeSeriesStore> series;
+  std::unique_ptr<obs::HealthWatchdog> watchdog;
+  std::unique_ptr<obs::Sampler> sampler;
+  std::unique_ptr<obs::HttpServer> http_server;
+  if (!http_spec.empty()) {
+    obs::HttpOptions hopt;
+    std::string err;
+    if (!obs::parse_http_address(http_spec, hopt, &err)) usage_error(err);
+    hub = std::make_shared<obs::IntrospectionHub>();
+    oopt.introspection = hub;
+    if (oopt.agg_catalog.node_names.empty())
+      oopt.agg_catalog = eval::make_catalog(topo);
+    series = std::make_unique<obs::TimeSeriesStore>();
+    watchdog = std::make_unique<obs::HealthWatchdog>(obs::Registry::global(),
+                                                     *series, health_opts);
+    sampler = std::make_unique<obs::Sampler>(
+        obs::Registry::global(), *series,
+        obs::SamplerOptions{std::chrono::milliseconds(sample_every_ms)},
+        [&w = *watchdog](const obs::Snapshot& s) { w.evaluate(s); });
+    http_server = std::make_unique<obs::HttpServer>(hopt);
+    obs::IntrospectionWiring wiring;
+    wiring.series = series.get();
+    wiring.health = watchdog.get();
+    wiring.hub = hub.get();
+    obs::install_introspection_routes(*http_server, wiring);
+    if (!http_server->start(&err)) usage_error(err);
+    sampler->start();
+    std::cerr << "introspection plane on http://" << http_server->address()
+              << " (/metrics /metrics.json /healthz /readyz /version"
+                 " /windows /series /explain)\n";
+  }
+  auto shutdown_introspection = [&] {
+    if (!http_server) return;
+    if (http_linger_ms > 0) {
+      std::cerr << "lingering " << http_linger_ms
+                << " ms for live queries on http://" << http_server->address()
+                << " ...\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(http_linger_ms));
+    }
+    sampler->stop();
+    http_server->stop();
+    http_server.reset();
   };
 
   // Flight recorder: on when any trace export was requested. Exported at
@@ -621,7 +740,8 @@ int main(int argc, char** argv) {
     std::vector<online::WindowResult> windows;
     try {
       windows = tailer.drain_to_end(
-          1 << 12, follow_observer(want_metrics ? metrics_every : 0));
+          1 << 12,
+          follow_observer(want_metrics ? metrics_every : 0, pace_ms));
     } catch (const collector::DecodeError& e) {
       std::cerr << "error: " << follow_file << ": " << e.what()
                 << "\nhint: rerun without --strict-decode to salvage the "
@@ -639,6 +759,7 @@ int main(int argc, char** argv) {
     } else {
       eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
     }
+    shutdown_introspection();
     dump_metrics();
     write_traces();
     return 0;
@@ -726,7 +847,8 @@ int main(int argc, char** argv) {
     // one offline pass: windowed diagnosis + live culprit board.
     online::StreamTarget& eng = make_follow_target();
     const auto windows = online::replay_collector(
-        col, eng, 64, true, follow_observer(want_metrics ? metrics_every : 0));
+        col, eng, 64, true,
+        follow_observer(want_metrics ? metrics_every : 0, pace_ms));
     print_stream_summary(catalog);
     std::cout << "\n";
     for (const online::WindowResult& w : windows)
@@ -741,6 +863,7 @@ int main(int argc, char** argv) {
 
     if (!explain_spec.empty()) {
       run_explain(diag, victims, explain_spec, catalog, want_json);
+      shutdown_introspection();
       dump_metrics();
       write_traces();
       return 0;
@@ -759,6 +882,7 @@ int main(int argc, char** argv) {
   } else {
     eval::print_diagnosis_report(std::cout, diagnoses, catalog, patterns);
   }
+  shutdown_introspection();
   dump_metrics();
   write_traces();
   return 0;

@@ -34,7 +34,7 @@ struct DiagnoseMetrics {
         obs::Registry::global().counter("core.diagnose.victims"),
         obs::Registry::global().counter("core.diagnose.no_period"),
         obs::Registry::global().counter("core.diagnose.relations"),
-        obs::Registry::global().histogram("core.diagnose.ns"),
+        obs::Registry::global().histogram("core.diagnose.total_ns"),
         obs::Registry::global().histogram("core.diagnose.depth",
                                           obs::depth_bounds()),
         obs::Registry::global().histogram("core.diagnose.relation_score",

@@ -29,7 +29,11 @@
 #include "common/time.hpp"
 
 #include "obs/build_info.hpp"
+#include "obs/health.hpp"
+#include "obs/http.hpp"
+#include "obs/introspect.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracing.hpp"
 
 #include "sim/event_queue.hpp"

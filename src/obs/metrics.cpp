@@ -6,6 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+#include "obs/build_info.hpp"
+
 namespace microscope::obs {
 
 namespace {
@@ -178,6 +181,60 @@ Registry& Registry::global() {
   return reg;
 }
 
+namespace {
+
+/// Explicit unit assignments for canonical names whose suffix alone is
+/// ambiguous (filled by register_pipeline_metrics; mutex-guarded because
+/// registration can race snapshots in tests).
+std::mutex& units_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::map<std::string, MetricUnit, std::less<>>& units_map() {
+  static std::map<std::string, MetricUnit, std::less<>> m;
+  return m;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void note_unit(std::string_view name, MetricUnit unit) {
+  std::lock_guard<std::mutex> lock(units_mu());
+  units_map().emplace(std::string(name), unit);
+}
+
+}  // namespace
+
+MetricUnit metric_unit(std::string_view name) {
+  {
+    std::lock_guard<std::mutex> lock(units_mu());
+    const auto it = units_map().find(name);
+    if (it != units_map().end()) return it->second;
+  }
+  if (ends_with(name, "_ns")) return MetricUnit::kNanoseconds;
+  if (ends_with(name, "_seconds")) return MetricUnit::kSeconds;
+  if (ends_with(name, "_bytes")) return MetricUnit::kBytes;
+  if (ends_with(name, "_records")) return MetricUnit::kRecords;
+  if (ends_with(name, "_batches")) return MetricUnit::kBatches;
+  if (ends_with(name, "_packets")) return MetricUnit::kPackets;
+  if (ends_with(name, "_frac")) return MetricUnit::kRatio;
+  if (ends_with(name, "_unix")) return MetricUnit::kUnixTime;
+  return MetricUnit::kNone;
+}
+
+const std::map<std::string, std::string>& metric_renames() {
+  // The unit-suffix audit: old dashboards querying the left column must
+  // move to the right one. Keys must stay absent from the registry and
+  // values present (pinned by test_obs.UnitAuditRenames).
+  static const std::map<std::string, std::string> renames = {
+      {"core.diagnose.ns", "core.diagnose.total_ns"},
+      {"shard.ring.depth", "shard.ring.depth_records"},
+  };
+  return renames;
+}
+
 void register_pipeline_metrics(Registry& reg) {
   // Stage 1: collector hooks + SPSC ring / dumper.
   reg.counter("collector.rx_batches");
@@ -222,7 +279,7 @@ void register_pipeline_metrics(Registry& reg) {
   reg.counter("core.diagnose.victims");
   reg.counter("core.diagnose.no_period");
   reg.counter("core.diagnose.relations");
-  reg.histogram("core.diagnose.ns");
+  reg.histogram("core.diagnose.total_ns");
   reg.histogram("core.diagnose.depth", depth_bounds());
   reg.histogram("core.diagnose.relation_score", score_bounds());
   // Conservation check: accumulated |rounding error| between each
@@ -243,7 +300,7 @@ void register_pipeline_metrics(Registry& reg) {
   reg.counter("shard.steer.packets");
   reg.counter("shard.steer.subbatches");
   reg.counter("shard.ring.overruns");
-  reg.gauge("shard.ring.depth");
+  reg.gauge("shard.ring.depth_records");
   reg.gauge("shard.steer.imbalance");
   reg.gauge("shard.active");
   reg.gauge("shard.drain_lag_records");
@@ -259,6 +316,23 @@ void register_pipeline_metrics(Registry& reg) {
   reg.gauge("sketch.fill_frac");
   reg.gauge("sketch.est_error_bound");
   reg.counter("sketch.hh_evicted");
+  // Introspection plane (DESIGN.md §15): the HTTP endpoint, the metric
+  // sampler, the export renderers, and the health watchdog.
+  reg.counter("obs.http.requests");
+  reg.counter("obs.http.bad_requests");
+  reg.counter("obs.series.samples");
+  reg.histogram("obs.render_ns");
+  reg.gauge("obs.uptime_seconds");
+  reg.gauge("obs.start_time_unix");
+  reg.gauge("obs.health.state");
+
+  // Units for names the suffix heuristic cannot classify (shares, scores,
+  // plain entry counts). Everything else derives from its suffix.
+  note_unit("shard.steer.imbalance", MetricUnit::kRatio);
+  note_unit("sketch.est_error_bound", MetricUnit::kRatio);
+  note_unit("core.diagnosis.attribution_residual", MetricUnit::kPackets);
+  note_unit("obs.health.state", MetricUnit::kNone);
+  refresh_runtime_gauges(reg);
 }
 
 namespace {
@@ -399,6 +473,185 @@ std::string to_json(const Snapshot& snap) {
   }
   out += "]}";
   return out;
+}
+
+namespace {
+
+/// Prometheus metric name: microscope_ prefix, dots to underscores, and —
+/// per the exposition convention that durations are base-unit seconds —
+/// *_ns names become *_seconds with values scaled by 1e-9 (`scale` out).
+std::string prom_name(const std::string& name, double& scale) {
+  scale = 1.0;
+  std::string base = name;
+  if (metric_unit(name) == MetricUnit::kNanoseconds &&
+      base.size() > 3 && base.compare(base.size() - 3, 3, "_ns") == 0) {
+    base.replace(base.size() - 3, 3, "_seconds");
+    scale = 1e-9;
+  }
+  std::string out = "microscope_";
+  for (const char c : base) out += (c == '.') ? '_' : c;
+  return out;
+}
+
+/// HELP text escaping: backslash and newline (the only escapes the
+/// exposition format defines outside label values).
+void prom_escape_help(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+}
+
+/// Label-value escaping: backslash, double quote, newline.
+void prom_escape_label(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+}
+
+void prom_help_type(std::string& out, const std::string& pname,
+                    const std::string& orig, const char* type) {
+  out += "# HELP " + pname + " Microscope metric ";
+  prom_escape_help(out, orig);
+  out += ".\n";
+  out += "# TYPE " + pname + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap, bool include_build_info) {
+  std::string out;
+  for (const MetricSnapshot& m : snap.metrics) {
+    double scale = 1.0;
+    const std::string pname = prom_name(m.name, scale);
+    switch (m.kind) {
+      case MetricKind::kCounter: {
+        const std::string cname = pname + "_total";
+        prom_help_type(out, cname, m.name, "counter");
+        out += cname + " ";
+        append_num(out, m.value * scale);
+        out += '\n';
+        break;
+      }
+      case MetricKind::kGauge:
+        prom_help_type(out, pname, m.name, "gauge");
+        out += pname + " ";
+        append_num(out, m.value * scale);
+        out += '\n';
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot& h = m.hist;
+        prom_help_type(out, pname, m.name, "histogram");
+        // Cumulative buckets; the +Inf bucket equals _count by definition.
+        // The count is re-derived from the bucket sum (not h.count): a
+        // snapshot racing a writer can have buckets ahead of the count
+        // field, and the exposition invariant must hold regardless.
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          cum += h.counts[i];
+          out += pname + "_bucket{le=\"";
+          if (i < h.bounds.size()) {
+            append_num(out, static_cast<double>(h.bounds[i]) * scale);
+          } else {
+            out += "+Inf";
+          }
+          out += "\"} ";
+          append_num(out, static_cast<double>(cum));
+          out += '\n';
+        }
+        out += pname + "_sum ";
+        append_num(out, static_cast<double>(h.sum) * scale);
+        out += '\n';
+        out += pname + "_count ";
+        append_num(out, static_cast<double>(cum));
+        out += '\n';
+        break;
+      }
+    }
+  }
+  if (include_build_info) {
+    const BuildInfo& b = build_info();
+    out += "# HELP microscope_build_info Build provenance of the serving "
+           "binary (value is constant 1).\n";
+    out += "# TYPE microscope_build_info gauge\n";
+    out += "microscope_build_info{git_hash=\"";
+    prom_escape_label(out, b.git_hash);
+    out += "\",build_type=\"";
+    prom_escape_label(out, b.build_type);
+    out += "\",compiler=\"";
+    prom_escape_label(out, b.compiler);
+    out += "\",simd=\"";
+    prom_escape_label(out, simd::caps_string());
+    out += "\",metrics=\"";
+    out += b.metrics_enabled ? "on" : "off";
+    out += "\"} 1\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Process start instants, latched on first use (register_pipeline_metrics
+/// calls refresh_runtime_gauges, so "first use" is registration time).
+struct ProcessClock {
+  std::chrono::steady_clock::time_point steady_start;
+  double start_unix_seconds;
+};
+
+const ProcessClock& process_clock() {
+  static const ProcessClock pc = [] {
+    ProcessClock p;
+    p.steady_start = std::chrono::steady_clock::now();
+    p.start_unix_seconds =
+        std::chrono::duration<double>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    return p;
+  }();
+  return pc;
+}
+
+}  // namespace
+
+void refresh_runtime_gauges(Registry& reg) {
+  const ProcessClock& pc = process_clock();
+  reg.gauge("obs.start_time_unix").set(pc.start_unix_seconds);
+  reg.gauge("obs.uptime_seconds")
+      .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         pc.steady_start)
+               .count());
+}
+
+namespace {
+
+template <typename Fn>
+std::string render_with_cost(Registry& reg, Fn&& fn) {
+  refresh_runtime_gauges(reg);
+  // The timer's sample lands after this snapshot is taken; it shows up in
+  // the next render. Export cost being one render stale is fine.
+  ScopedTimer t(reg.histogram("obs.render_ns"));
+  return fn(reg.snapshot());
+}
+
+}  // namespace
+
+std::string render_text(Registry& reg) {
+  return render_with_cost(reg, [](const Snapshot& s) { return to_text(s); });
+}
+
+std::string render_json(Registry& reg) {
+  return render_with_cost(reg, [](const Snapshot& s) { return to_json(s); });
+}
+
+std::string render_prometheus(Registry& reg) {
+  return render_with_cost(reg,
+                          [](const Snapshot& s) { return to_prometheus(s); });
 }
 
 }  // namespace microscope::obs

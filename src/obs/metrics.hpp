@@ -245,7 +245,8 @@ class Registry {
 };
 
 /// Pre-register the canonical metric names of all five pipeline stages so
-/// exports enumerate every stage (zero-valued where nothing ran yet).
+/// exports enumerate every stage (zero-valued where nothing ran yet). Also
+/// fills the unit map consulted by metric_unit() / the Prometheus exporter.
 void register_pipeline_metrics(Registry& reg = Registry::global());
 
 /// Aligned human-readable rendering (histograms as count/mean/p50/p95/p99).
@@ -255,5 +256,53 @@ std::string to_text(const Snapshot& snap);
 /// integers emitted without a decimal point, only non-empty histogram
 /// buckets listed. The golden test in tests/test_obs.cpp pins this format.
 std::string to_json(const Snapshot& snap);
+
+// --- units & Prometheus exposition (DESIGN.md §15) -----------------------
+
+/// Coarse unit class of a metric, keyed by the canonical name suffix
+/// convention (_ns, _bytes, _records, _batches, _packets, _seconds, _frac).
+/// register_pipeline_metrics records explicit units for every canonical
+/// name; unknown names fall back to the suffix heuristic.
+enum class MetricUnit : std::uint8_t {
+  kNone,          // bare event / entry counts, scores, states
+  kNanoseconds,   // *_ns — exported to Prometheus in base-unit seconds
+  kSeconds,       // *_seconds
+  kBytes,         // *_bytes
+  kRecords,       // *_records
+  kBatches,       // *_batches
+  kPackets,       // *_packets
+  kRatio,         // *_frac and other 0..1 fills/shares
+  kUnixTime,      // *_unix — seconds since the epoch
+};
+MetricUnit metric_unit(std::string_view name);
+
+/// Unit-suffix audit renames (old canonical name -> current name). The old
+/// names no longer exist in the registry; this map is the migration
+/// contract for external dashboards, pinned by test_obs: every key must be
+/// absent from register_pipeline_metrics' output and every value present.
+const std::map<std::string, std::string>& metric_renames();
+
+/// Prometheus text exposition (format 0.0.4): one HELP + TYPE block per
+/// metric, names prefixed microscope_ with dots mapped to underscores,
+/// counters suffixed _total, histograms as cumulative _bucket/_sum/_count
+/// with an explicit +Inf bucket, and *_ns durations converted to base-unit
+/// seconds (name and values) per Prometheus convention. When
+/// `include_build_info` is set, a microscope_build_info gauge labelled
+/// from obs/build_info (git_hash, build_type, compiler, simd, metrics) is
+/// appended. ci/check_prom_format.py validates this output in CI.
+std::string to_prometheus(const Snapshot& snap, bool include_build_info = true);
+
+/// Refresh the process-lifetime gauges (obs.uptime_seconds,
+/// obs.start_time_unix) from the wall/steady clocks. The start instant is
+/// latched on the first call in the process (typically at registration).
+void refresh_runtime_gauges(Registry& reg = Registry::global());
+
+/// Shared snapshot-and-render entry points used by --metrics dumps, the
+/// periodic --metrics-every observer, and the HTTP introspection endpoints.
+/// Each refreshes the runtime gauges and records its own wall cost into the
+/// obs.render_ns histogram, so export cost is itself observable.
+std::string render_text(Registry& reg = Registry::global());
+std::string render_json(Registry& reg = Registry::global());
+std::string render_prometheus(Registry& reg = Registry::global());
 
 }  // namespace microscope::obs

@@ -1,0 +1,187 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace microscope::obs {
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions opts) : opts_(opts) {
+  if (opts_.capacity == 0) opts_.capacity = 1;
+}
+
+void TimeSeriesStore::sample(const Snapshot& snap, std::int64_t unix_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const MetricSnapshot& m : snap.metrics) {
+    Ring& r = series_[m.name];
+    if (r.buf.empty()) r.buf.resize(opts_.capacity);
+    const double v = m.kind == MetricKind::kHistogram
+                         ? static_cast<double>(m.hist.count)
+                         : m.value;
+    r.buf[r.next] = SeriesPoint{unix_ns, v};
+    r.next = (r.next + 1) % r.buf.size();
+    r.size = std::min(r.size + 1, r.buf.size());
+  }
+  samples_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::last(std::string_view name,
+                                               std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = series_.find(name);
+  if (it == series_.end()) return {};
+  const Ring& r = it->second;
+  const std::size_t take = std::min(n, r.size);
+  std::vector<SeriesPoint> out;
+  out.reserve(take);
+  // Oldest-first walk of the newest `take` points: start `take` slots
+  // behind the insert cursor.
+  std::size_t idx = (r.next + r.buf.size() - take) % r.buf.size();
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(r.buf[idx]);
+    idx = (idx + 1) % r.buf.size();
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> TimeSeriesStore::rate(std::string_view name,
+                                               std::size_t n) const {
+  // One extra point so `n` rate samples have `n` predecessor intervals.
+  const std::vector<SeriesPoint> pts = last(name, n + 1);
+  std::vector<SeriesPoint> out;
+  if (pts.size() < 2) return out;
+  out.reserve(pts.size() - 1);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double dt_s =
+        static_cast<double>(pts[i].unix_ns - pts[i - 1].unix_ns) / 1e9;
+    if (dt_s <= 0) continue;  // clock skew / duplicate stamp: skip interval
+    out.push_back(
+        SeriesPoint{pts[i].unix_ns, (pts[i].value - pts[i - 1].value) / dt_s});
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeriesStore::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+void append_json_num(std::string& out, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::abs(v) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out += buf;
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out += buf;
+  }
+}
+
+void append_points(std::string& out, const std::vector<SeriesPoint>& pts) {
+  out += "[";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) out += ", ";
+    // Timestamps stay int64 text — a double would round ns-epoch stamps.
+    char tbuf[24];
+    std::snprintf(tbuf, sizeof(tbuf), "%lld",
+                  static_cast<long long>(pts[i].unix_ns));
+    out += "{\"t\": ";
+    out += tbuf;
+    out += ", \"v\": ";
+    append_json_num(out, pts[i].value);
+    out += "}";
+  }
+  out += "]";
+}
+
+const char* unit_name(MetricUnit u) {
+  switch (u) {
+    case MetricUnit::kNanoseconds: return "ns";
+    case MetricUnit::kSeconds: return "seconds";
+    case MetricUnit::kBytes: return "bytes";
+    case MetricUnit::kRecords: return "records";
+    case MetricUnit::kBatches: return "batches";
+    case MetricUnit::kPackets: return "packets";
+    case MetricUnit::kRatio: return "ratio";
+    case MetricUnit::kUnixTime: return "unix_time";
+    case MetricUnit::kNone: break;
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string series_to_json(std::string_view name,
+                           const std::vector<SeriesPoint>& points,
+                           const std::vector<SeriesPoint>& rates) {
+  std::string out = "{\"name\": \"";
+  out += name;
+  out += "\", \"unit\": \"";
+  out += unit_name(metric_unit(name));
+  out += "\", \"points\": ";
+  append_points(out, points);
+  out += ", \"rate_per_s\": ";
+  append_points(out, rates);
+  out += "}";
+  return out;
+}
+
+Sampler::Sampler(Registry& reg, TimeSeriesStore& store, SamplerOptions opts,
+                 SampleHook on_sample)
+    : reg_(reg), store_(store), opts_(opts), on_sample_(std::move(on_sample)) {
+  if (opts_.every.count() <= 0) opts_.every = std::chrono::milliseconds(1);
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::sample_now() {
+  refresh_runtime_gauges(reg_);
+  const Snapshot snap = reg_.snapshot();
+  store_.sample(snap, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count());
+  reg_.counter("obs.series.samples").add();
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (on_sample_) on_sample_(snap);
+}
+
+void Sampler::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Sampler::loop() {
+  sample_now();  // immediate first point: short runs still get history
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_requested_) {
+    if (cv_.wait_for(lock, opts_.every, [this] { return stop_requested_; }))
+      break;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+}  // namespace microscope::obs

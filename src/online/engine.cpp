@@ -176,6 +176,7 @@ std::vector<WindowResult> OnlineEngine::close_ready(bool finishing) {
     obs::TraceSpan wspan("online", "window.close");
     obs::ScopedTimer close_timer(m.window_close_ns);
     WindowResult res = diagnose_window(b);
+    wd_.publish(res);
     agg_->ingest(res.diagnoses);
     close_timer.stop();
     wspan.set_items(res.diagnoses.size());

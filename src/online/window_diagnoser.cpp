@@ -1,7 +1,12 @@
 #include "online/window_diagnoser.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <limits>
+#include <numeric>
 #include <utility>
+
+#include "obs/introspect.hpp"
 
 namespace microscope::online {
 
@@ -55,7 +60,7 @@ WindowResult WindowDiagnoser::diagnose(const WindowBounds& b,
     for (const core::Victim& v : diag.drop_victims())
       if (keep(v)) victims.push_back(v);
 
-  if (opts_.capture_provenance) {
+  if (opts_.capture_provenance || opts_.introspection) {
     res.diagnoses.reserve(victims.size());
     res.provenances.resize(victims.size());
     for (std::size_t i = 0; i < victims.size(); ++i)
@@ -64,6 +69,78 @@ WindowResult WindowDiagnoser::diagnose(const WindowBounds& b,
     res.diagnoses = diag.diagnose_all(victims);
   }
   return res;
+}
+
+namespace {
+
+double diagnosis_score(const core::Diagnosis& d) {
+  double s = 0.0;
+  for (const core::CausalRelation& r : d.relations) s += r.score;
+  return s;
+}
+
+std::string victim_summary(const core::Diagnosis& d, double score,
+                           const std::vector<std::string>& names) {
+  const core::Victim& v = d.victim;
+  std::string name = v.node < names.size() && !names[v.node].empty()
+                         ? names[v.node]
+                         : "node" + std::to_string(v.node);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "victim at %s, t=%.3f ms, %zu relations, score=%.3f",
+                name.c_str(), static_cast<double>(v.time) / 1e6,
+                d.relations.size(), score);
+  return buf;
+}
+
+}  // namespace
+
+void WindowDiagnoser::publish(const WindowResult& res) const {
+  obs::IntrospectionHub* hub = opts_.introspection.get();
+  if (!hub) return;
+
+  std::vector<double> scores(res.diagnoses.size());
+  for (std::size_t i = 0; i < res.diagnoses.size(); ++i)
+    scores[i] = diagnosis_score(res.diagnoses[i]);
+
+  obs::WindowNote note;
+  note.index = res.index;
+  note.start_ns = res.start;
+  note.end_ns = res.end;
+  note.idle_forced = res.idle_forced;
+  note.journeys = res.journeys;
+  note.diagnoses = res.diagnoses.size();
+  note.top_score = scores.empty() ? 0.0
+                                  : *std::max_element(scores.begin(),
+                                                      scores.end());
+  hub->publish_window(note);
+
+  // /explain tracks the newest window that actually diagnosed something;
+  // quiet windows leave the last interesting explanation in place.
+  if (res.diagnoses.empty() ||
+      res.provenances.size() != res.diagnoses.size()) {
+    return;
+  }
+  std::vector<std::size_t> order(res.diagnoses.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  if (order.size() > opts_.explain_top_max)
+    order.resize(opts_.explain_top_max);
+
+  const std::vector<std::string>& names = opts_.agg_catalog.node_names;
+  std::vector<obs::ExplainEntry> entries;
+  entries.reserve(order.size());
+  for (const std::size_t i : order) {
+    obs::ExplainEntry e;
+    e.summary = victim_summary(res.diagnoses[i], scores[i], names);
+    e.tree = core::render_explain_tree(res.provenances[i], names);
+    e.json = core::provenance_to_json(res.provenances[i], names);
+    entries.push_back(std::move(e));
+  }
+  hub->publish_explain(res.index, std::move(entries));
 }
 
 }  // namespace microscope::online

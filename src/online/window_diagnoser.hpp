@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "collector/collector.hpp"
@@ -25,6 +26,10 @@
 #include "online/window.hpp"
 #include "trace/graph.hpp"
 #include "trace/reconstruct.hpp"
+
+namespace microscope::obs {
+class IntrospectionHub;
+}
 
 namespace microscope::online {
 
@@ -71,10 +76,20 @@ struct OnlineOptions {
   /// byte budget (DESIGN.md §14, CLI --agg-memory-budget); 0 keeps the
   /// exact StreamingAggregator.
   std::size_t agg_memory_budget = 0;
-  /// NF catalog for the sketch's instance -> type generalization ladder;
-  /// only consulted when agg_memory_budget > 0 (nodes missing from it
-  /// fall back to type 0).
+  /// NF catalog for the sketch's instance -> type generalization ladder
+  /// (consulted when agg_memory_budget > 0); its node_names also label
+  /// nodes in the introspection hub's /explain renderings.
   autofocus::NfCatalog agg_catalog{};
+  /// Live introspection hub (obs/introspect.hpp). When set, every closed
+  /// window is published as a /windows board note, and diagnosed windows
+  /// additionally publish rendered --explain output (attribution tree +
+  /// provenance JSON) for their top victims. Provenance capture forces
+  /// the sequential per-victim diagnosis path, same as
+  /// capture_provenance — leave unset on latency-critical runs.
+  std::shared_ptr<obs::IntrospectionHub> introspection{};
+  /// Max victims rendered per window for /explain, ranked by descending
+  /// total attribution score (/explain?top=k serves a prefix of these).
+  std::size_t explain_top_max = 8;
   /// Wire decode validation for feed_bytes/drain_ring ingestion. Defaults
   /// to lenient raw decode with the timestamp check off (the ring is a
   /// trusted in-process stream); tailing a file from another process is
@@ -102,7 +117,7 @@ struct WindowResult {
   /// victim order. victim.journey is window-local bookkeeping.
   std::vector<core::Diagnosis> diagnoses;
   /// Parallel to `diagnoses` when OnlineOptions::capture_provenance is
-  /// set; empty otherwise.
+  /// set or an introspection hub is attached; empty otherwise.
   std::vector<core::Provenance> provenances;
 };
 
@@ -128,6 +143,12 @@ class WindowDiagnoser {
   /// anchored inside `b`. `col` must cover exactly the slice bounds above.
   WindowResult diagnose(const WindowBounds& b,
                         const collector::Collector& col) const;
+
+  /// Publish a closed window onto the introspection hub: a /windows board
+  /// note always, plus rendered /explain entries when the window carries
+  /// provenances. No-op without a hub. Engines call this once per closed
+  /// window — including skipped-empty ones, so the board has no gaps.
+  void publish(const WindowResult& res) const;
 
   DurationNs history_ns() const { return history_; }
   const OnlineOptions& options() const { return opts_; }

@@ -51,7 +51,7 @@ struct ShardMetrics {
                           r.counter("shard.steer.packets"),
                           r.counter("shard.steer.subbatches"),
                           r.counter("shard.ring.overruns"),
-                          r.gauge("shard.ring.depth"),
+                          r.gauge("shard.ring.depth_records"),
                           r.gauge("shard.steer.imbalance"),
                           r.gauge("shard.active"),
                           r.gauge("shard.drain_lag_records"),
@@ -448,6 +448,7 @@ std::vector<online::WindowResult> ShardedEngine::close_ready(bool finishing) {
       merge_timer.stop();
       res = wd_.diagnose(b, col);
     }
+    wd_.publish(res);
     agg_->ingest(res.diagnoses);
     close_timer.stop();
     wspan.set_items(res.diagnoses.size());

@@ -271,5 +271,121 @@ TEST(Export, TextMentionsEveryMetric) {
   EXPECT_NE(text.find("stage.lat_ns"), std::string::npos);
 }
 
+// The exposition format is a contract with Prometheus scrapers and with
+// ci/check_prom_format.py: counters get _total, histograms cumulative
+// _bucket/_sum/_count with an explicit +Inf, and *_ns durations convert to
+// base-unit seconds (name and values both).
+TEST(Export, PrometheusGolden) {
+  SKIP_IF_METRICS_DISABLED();
+  Registry reg;
+  reg.counter("a").add(3);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h_ns", {10, 100}).record(5);
+  const std::string prom = to_prometheus(reg.snapshot(), false);
+  EXPECT_EQ(prom,
+            "# HELP microscope_a_total Microscope metric a.\n"
+            "# TYPE microscope_a_total counter\n"
+            "microscope_a_total 3\n"
+            "# HELP microscope_g Microscope metric g.\n"
+            "# TYPE microscope_g gauge\n"
+            "microscope_g 2.5\n"
+            "# HELP microscope_h_seconds Microscope metric h_ns.\n"
+            "# TYPE microscope_h_seconds histogram\n"
+            "microscope_h_seconds_bucket{le=\"1e-08\"} 1\n"
+            "microscope_h_seconds_bucket{le=\"1e-07\"} 1\n"
+            "microscope_h_seconds_bucket{le=\"+Inf\"} 1\n"
+            "microscope_h_seconds_sum 5e-09\n"
+            "microscope_h_seconds_count 1\n");
+}
+
+TEST(Export, PrometheusCumulativeBucketsMatchCount) {
+  SKIP_IF_METRICS_DISABLED();
+  Registry reg;
+  Histogram& h = reg.histogram("d.depth", depth_bounds());
+  for (int i = 0; i < 500; ++i) h.record(i % 23);
+  const std::string prom = to_prometheus(reg.snapshot(), false);
+  // The +Inf bucket line and the _count line must carry the same value.
+  const auto inf_pos = prom.find("_bucket{le=\"+Inf\"} ");
+  ASSERT_NE(inf_pos, std::string::npos);
+  const auto inf_end = prom.find('\n', inf_pos);
+  const std::string inf_val =
+      prom.substr(inf_pos + 19, inf_end - inf_pos - 19);
+  const auto count_pos = prom.find("_count ");
+  ASSERT_NE(count_pos, std::string::npos);
+  const auto count_end = prom.find('\n', count_pos);
+  EXPECT_EQ(prom.substr(count_pos + 7, count_end - count_pos - 7), inf_val);
+  EXPECT_EQ(inf_val, "500");
+}
+
+TEST(Export, PrometheusBuildInfoLabels) {
+  const std::string prom = to_prometheus(Registry().snapshot(), true);
+  EXPECT_NE(prom.find("# TYPE microscope_build_info gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("microscope_build_info{git_hash=\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("build_type=\""), std::string::npos);
+  EXPECT_NE(prom.find("simd=\""), std::string::npos);
+  EXPECT_NE(prom.find("\"} 1\n"), std::string::npos);
+}
+
+// The units-audit migration contract: every old canonical name is gone
+// from the registry, every renamed successor is present, and the unit map
+// classifies the canonical suffixes. This keeps external dashboards from
+// silently reading a stale name.
+TEST(Export, UnitAuditRenames) {
+  Registry reg;
+  register_pipeline_metrics(reg);
+  const Snapshot s = reg.snapshot();
+  ASSERT_FALSE(metric_renames().empty());
+  for (const auto& [old_name, new_name] : metric_renames()) {
+    EXPECT_EQ(s.find(old_name), nullptr)
+        << old_name << " should have been renamed to " << new_name;
+    EXPECT_NE(s.find(new_name), nullptr) << new_name;
+  }
+}
+
+TEST(Export, MetricUnitsClassifyCanonicalNames) {
+  Registry reg;
+  register_pipeline_metrics(reg);  // fills the explicit unit map
+  EXPECT_EQ(metric_unit("online.watermark_lag_ns"), MetricUnit::kNanoseconds);
+  EXPECT_EQ(metric_unit("online.retained_bytes"), MetricUnit::kBytes);
+  EXPECT_EQ(metric_unit("shard.ring.depth_records"), MetricUnit::kRecords);
+  EXPECT_EQ(metric_unit("sketch.fill_frac"), MetricUnit::kRatio);
+  EXPECT_EQ(metric_unit("shard.steer.imbalance"), MetricUnit::kRatio);
+  EXPECT_EQ(metric_unit("obs.start_time_unix"), MetricUnit::kUnixTime);
+  EXPECT_EQ(metric_unit("obs.uptime_seconds"), MetricUnit::kSeconds);
+  EXPECT_EQ(metric_unit("online.packets_ingested"), MetricUnit::kNone);
+  EXPECT_EQ(metric_unit("no.such.metric"), MetricUnit::kNone);
+}
+
+TEST(Export, RuntimeGaugesTickWithProcessLifetime) {
+  SKIP_IF_METRICS_DISABLED();
+  Registry reg;
+  refresh_runtime_gauges(reg);
+  const Snapshot s = reg.snapshot();
+  const MetricSnapshot* uptime = s.find("obs.uptime_seconds");
+  const MetricSnapshot* start = s.find("obs.start_time_unix");
+  ASSERT_NE(uptime, nullptr);
+  ASSERT_NE(start, nullptr);
+  EXPECT_GE(uptime->value, 0.0);
+  EXPECT_GT(start->value, 1.0e9);  // sanity: after 2001 in unix seconds
+}
+
+TEST(Export, RenderHelpersRecordTheirOwnCost) {
+  SKIP_IF_METRICS_DISABLED();
+  Registry reg;
+  reg.counter("x").add(1);
+  const std::string text = render_text(reg);
+  const std::string json = render_json(reg);
+  const std::string prom = render_prometheus(reg);
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(json.find("\"x\""), std::string::npos);
+  EXPECT_NE(prom.find("microscope_x_total"), std::string::npos);
+  const Snapshot s = reg.snapshot();
+  const MetricSnapshot* cost = s.find("obs.render_ns");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->hist.count, 3u);  // one sample per render call
+}
+
 }  // namespace
 }  // namespace microscope::obs
